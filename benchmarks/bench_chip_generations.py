@@ -1,0 +1,84 @@
+"""Ablation: the original ISCA'17 Plasticine vs the RNN-serving variant.
+
+Quantifies what Section 4's modifications buy end-to-end.  The original
+chip (64 PCU / 64 PMU checkerboard, 6-stage PCUs, no low-precision
+opcodes, no folded tree) can only serve at 32-bit; the variant packs four
+8-bit values per lane, folds the reduction into 4-stage PCUs, and doubles
+memory units.  The same loop-based LSTM is DSE-tuned on each chip.
+"""
+
+import pytest
+
+from repro.dse.search import evaluate
+from repro.dse.space import ParameterSpace
+from repro.dse.tuner import tune
+from repro.harness.report import format_table
+from repro.plasticine import PlasticineConfig
+from repro.rnn.lstm_loop import LoopParams
+from repro.workloads.deepbench import task
+
+
+def test_generation_gap(benchmark, artifact):
+    t = task("lstm", 256)
+
+    def measure():
+        original = PlasticineConfig.isca2017()
+        variant = PlasticineConfig.rnn_serving()
+        best_orig = tune(t, original, ParameterSpace(max_hu=4, ru_choices=(1, 2, 4)),
+                         bits=32).best
+        best_var = tune(t, variant, bits=8).best
+        return best_orig, best_var
+
+    best_orig, best_var = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = best_orig.total_cycles / best_var.total_cycles
+    artifact(
+        "ablation_chip_generations",
+        format_table(
+            ["chip", "precision", "hu/ru", "cycles/step", "latency ms"],
+            [
+                ["isca2017 (original)", "32-bit",
+                 f"{best_orig.params.hu}/{best_orig.params.ru}",
+                 best_orig.cycles_per_step, best_orig.total_cycles / 1e6],
+                ["rnn variant (Table 3)", "8-bit",
+                 f"{best_var.params.hu}/{best_var.params.ru}",
+                 best_var.cycles_per_step, best_var.total_cycles / 1e6],
+                ["speedup", "", "", "", round(speedup, 1)],
+            ],
+            title="Ablation: Section 4 modifications, end to end (LSTM 256)",
+        ),
+    )
+    # The modifications are worth several-fold: 4x packing alone, plus
+    # more units; the original chip is also far smaller (64 vs 192 PCUs).
+    assert speedup > 4.0
+
+
+def test_original_chip_bandwidth_wall(benchmark):
+    # Section 4.2 on the actual original chip: the 1:1 checkerboard runs
+    # out of PMUs (each dot PCU wants two) before it runs out of PCUs.
+    chip = PlasticineConfig.isca2017()
+    t = task("lstm", 256)
+
+    def wall():
+        return evaluate(t, LoopParams(hu=2, ru=4, rv=16), chip, bits=32)
+
+    point = benchmark(wall)
+    assert not point.fits
+    assert point.pcus_used <= chip.usable_pcus  # compute fits...
+    assert point.pmus_used > chip.n_pmu  # ...memory bandwidth does not
+
+
+def test_original_chip_cannot_serve_8bit(benchmark):
+    # Without the fused opcodes + folded tree, an 8-bit map-reduce does
+    # not fit the 6-stage PCU at all.
+    from repro.errors import ConfigError
+
+    chip = PlasticineConfig.isca2017()
+
+    def attempt():
+        try:
+            chip.pcu.map_reduce_timing(8)
+        except ConfigError:
+            return True
+        return False
+
+    assert benchmark(attempt)

@@ -1,0 +1,72 @@
+"""Figures 1-3: compute/memory layout comparison across implementations.
+
+The paper's figures are diagrams; the quantitative content is the
+intermediate-buffer story: BasicLSTM materializes O(H) vectors at every
+kernel boundary, cuDNN fuses the post-MVM ops but keeps 4H pre-activation
+buffers, Brainwave keeps hv-chunk buffers per tile engine, and the
+loop-based design keeps only scalars in pipeline registers.
+"""
+
+from repro.analysis import (
+    basic_lstm_footprint,
+    brainwave_footprint,
+    cudnn_lstm_footprint,
+    loop_based_footprint,
+)
+from repro.harness.figures import figure1_3_footprints
+
+SIZES = [256, 512, 1024, 1536, 2048, 2560]
+
+
+def test_footprint_sweep(benchmark, artifact):
+    text = benchmark(figure1_3_footprints, SIZES)
+    artifact("figure1_3_footprints", text)
+
+
+def test_footprint_ordering_all_sizes(benchmark):
+    def check():
+        for h in SIZES:
+            vals = [
+                basic_lstm_footprint(h).total_bytes,
+                cudnn_lstm_footprint(h).total_bytes,
+                brainwave_footprint(h).total_bytes,
+                loop_based_footprint(h).total_bytes,
+            ]
+            assert vals[0] > vals[1], "cuDNN must beat BasicLSTM"
+            assert vals[3] == min(vals), "loop-based must be smallest"
+        return True
+
+    assert benchmark(check)
+
+
+def test_loop_intermediates_h_independent(benchmark):
+    # The central claim of Figure 3: intermediate storage does not grow
+    # with the model.
+    def spread():
+        sizes = [loop_based_footprint(h).total_bytes for h in SIZES]
+        return max(sizes) - min(sizes)
+
+    assert benchmark(spread) == 0
+
+
+def test_cudnn_traffic_reduction_vs_basic(benchmark, artifact):
+    from repro.harness.report import format_table
+
+    def rows():
+        out = []
+        for h in SIZES:
+            basic = basic_lstm_footprint(h).total_bytes
+            cudnn = cudnn_lstm_footprint(h).total_bytes
+            loop = loop_based_footprint(h).total_bytes
+            out.append([h, basic, cudnn, loop, round(basic / loop, 1)])
+        return out
+
+    table = benchmark(rows)
+    artifact(
+        "figure1_3_reduction",
+        format_table(
+            ["H", "BasicLSTM B", "cuDNN B", "loop B", "Basic/loop"],
+            table,
+            title="Figures 1-3: intermediate bytes and reduction factor",
+        ),
+    )

@@ -1,0 +1,75 @@
+"""Figure 6: PCU low-precision map-reduce micro-architecture.
+
+Benchmarks the PCU timing model across the four (fused x folded)
+variants and pins the paper's law: fused + folded performs the whole
+64-element 8-bit map-reduce in 4 stages, 2 + log2(16) + 1 cycles.
+"""
+
+import math
+
+from repro.harness.figures import figure6_pcu_timing
+from repro.plasticine.pcu import PCUConfig
+
+
+def test_figure6_variants(benchmark, artifact):
+    text = benchmark(figure6_pcu_timing)
+    artifact("figure6", text)
+
+
+def test_headline_law(benchmark):
+    pcu = PCUConfig(lanes=16, stages=4, fused_low_precision=True, folded_reduction=True)
+
+    def timing():
+        return pcu.map_reduce_timing(8)
+
+    t = benchmark(timing)
+    assert t.stages_used == 4
+    assert t.depth_cycles == 2 + int(math.log2(16)) + 1
+    assert t.elements_per_cycle == 64
+
+
+def test_lane_scaling(benchmark, artifact):
+    from repro.harness.report import format_table
+
+    def sweep():
+        rows = []
+        for lanes in (4, 8, 16, 32):
+            pcu = PCUConfig(lanes=lanes, stages=4)
+            t = pcu.map_reduce_timing(8)
+            rows.append([lanes, t.elements_per_cycle, t.depth_cycles, t.stages_used])
+        return rows
+
+    rows = benchmark(sweep)
+    artifact(
+        "figure6_lanes",
+        format_table(
+            ["lanes", "elems/cyc", "latency", "stages"],
+            rows,
+            title="Figure 6: map-reduce scaling with SIMD width",
+        ),
+    )
+    for lanes, elems, depth, stages in rows:
+        assert elems == 4 * lanes
+        assert depth == 2 + int(math.log2(lanes)) + 1
+        assert stages == 4
+
+
+def test_folding_fu_utilization_gain(benchmark):
+    # Figure 6(c)'s motivation: the unfolded tree wastes FU slots.
+    def gain():
+        folded = PCUConfig(folded_reduction=True).reduction_fu_utilization()
+        unfolded = PCUConfig(stages=8, folded_reduction=False).reduction_fu_utilization()
+        return folded / unfolded
+
+    assert benchmark(gain) == 5.0  # 1.0 vs 0.2 at 16 lanes
+
+
+def test_precision_throughput_ladder(benchmark):
+    # 8-bit packing quadruples, 16-bit doubles the per-PCU dot width.
+    pcu = PCUConfig()
+
+    def widths():
+        return [pcu.values_per_cycle(b) for b in (32, 16, 8)]
+
+    w32, w16, w8 = benchmark(widths)
+    assert (w32, w16, w8) == (16, 32, 64)

@@ -1,0 +1,61 @@
+"""Figure 7 / Section 4.2: sizing Plasticine for RNN serving.
+
+Regenerates the layout diagram and benchmarks the ablation behind it:
+the 2:1 PMU:PCU variant vs the original 1:1 checkerboard on the
+compute-to-memory-bandwidth ratio that RNN MVMs need.
+"""
+
+from repro.harness.figures import figure7_layouts
+from repro.plasticine import PlasticineConfig
+from repro.plasticine.network import GridLayout
+
+
+def test_figure7_render(benchmark, artifact):
+    text = benchmark(figure7_layouts)
+    artifact("figure7", text)
+
+
+def test_variant_ratio_on_grid(benchmark):
+    layout = benchmark(GridLayout.rnn_variant, 24, 24)
+    assert layout.n_pcu == 192
+    assert layout.n_pmu == 384
+
+
+def test_compute_memory_ratio_ablation(benchmark, artifact):
+    # Section 4.2: original 6:1 ops-per-read starves RNN MVM (needs 2:1);
+    # the variant hits 2:1 exactly.
+    from repro.harness.report import format_table
+
+    def measure():
+        original = PlasticineConfig.isca2017()
+        variant = PlasticineConfig.rnn_serving()
+        return [
+            ["original checkerboard", original.compute_to_memory_read_ratio()],
+            ["rnn variant", variant.compute_to_memory_read_ratio()],
+        ]
+
+    rows = benchmark(measure)
+    artifact(
+        "figure7_ratio",
+        format_table(
+            ["layout", "FU ops per scratchpad read"],
+            rows,
+            title="Section 4.2: compute-to-memory ratio",
+        ),
+    )
+    assert rows[0][1] == 6.0
+    assert rows[1][1] == 2.0
+
+
+def test_bandwidth_pairing(benchmark):
+    # Each dot PCU needs its weight PMU plus its [x,h] copy PMU — exactly
+    # the 2:1 provisioning.
+    from repro.plasticine.pcu import PCUConfig
+    from repro.plasticine.pmu import PMUConfig
+
+    def ratio():
+        pcu_demand_bytes = PCUConfig().values_per_cycle(8) * 2  # w + xh
+        pmu_supply_bytes = PMUConfig().bytes_per_cycle
+        return pcu_demand_bytes / pmu_supply_bytes
+
+    assert benchmark(ratio) == 2.0

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the configuration tables (Tables 3, 4, 5).
+
+These are cheap lookups; the benchmark times the full render path and the
+assertions pin the published configuration values.
+"""
+
+from repro.harness import table3, table4, table5
+from repro.plasticine import PlasticineConfig
+from repro.plasticine.area_power import AreaPowerModel
+
+
+def test_table3_plasticine_config(benchmark, artifact):
+    text = benchmark(table3)
+    artifact("table3", text)
+    chip = PlasticineConfig.rnn_serving()
+    assert chip.n_pcu == 192 and chip.n_pmu == 384
+    assert chip.pcu.lanes == 16 and chip.pcu.stages == 4
+
+
+def test_table4_hardware_specs(benchmark, artifact):
+    text = benchmark(table4)
+    artifact("table4", text)
+    model = AreaPowerModel()
+    chip = PlasticineConfig.rnn_serving()
+    assert abs(model.chip_area_mm2(chip) - 494.37) < 2.5
+    assert abs(chip.peak_tflops(8) - 49) < 0.5
+    assert abs(chip.onchip_mb - 31.5) < 0.05
+
+
+def test_table5_application_configs(benchmark, artifact):
+    text = benchmark(table5)
+    artifact("table5", text)
+    assert "Spatial" in text and "Brainwave" in text

@@ -1,0 +1,52 @@
+"""The full Table 6: all four platforms, speedups, and geomeans.
+
+This is the paper's headline artifact.  The assertions pin the three
+geometric-mean speedups (2529x / 29.8x / 2.0x published) to the same
+order of magnitude and ranking, and the crossover structure (Brainwave
+ahead only on the largest models).
+"""
+
+from repro.harness.paper_data import TABLE6_GEOMEAN_SPEEDUPS
+from repro.harness.tables import table6
+
+
+def test_full_table6_with_geomeans(benchmark, artifact):
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    artifact("table6_full", result.text)
+
+    geo = result.geomean_speedups
+    paper = TABLE6_GEOMEAN_SPEEDUPS
+    # Same ranking...
+    assert geo["cpu"] > geo["gpu"] > geo["brainwave"] > 1.0
+    # ...and same magnitude (the abstract's 30x GPU / 2x BW claims).
+    assert 0.6 <= geo["cpu"] / paper["cpu"] <= 1.6
+    assert 0.5 <= geo["gpu"] / paper["gpu"] <= 2.0
+    assert 0.7 <= geo["brainwave"] / paper["brainwave"] <= 1.4
+
+
+def test_crossover_to_brainwave(benchmark):
+    # Section 5.2: "When serving very large RNNs, BW provides better
+    # performance ... When serving small and medium size RNNs, Plasticine
+    # performs better than BW with up to 30x better performance."
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    per = result.results
+    small = per["gru-h512-t1"]
+    assert small["plasticine"].speedup_over(small["brainwave"]) > 10
+    large = per["gru-h2560-t375"]
+    assert large["plasticine"].speedup_over(large["brainwave"]) < 1.0
+
+
+def test_gru2816_brainwave_2x(benchmark):
+    # Section 5.2: BW "up to 2x better than Plasticine on the largest GRU
+    # (H=2816)".
+    from repro.api import serve_on_brainwave, serve_on_plasticine
+    from repro.workloads.deepbench import task
+
+    t = task("gru", 2816)
+
+    def both():
+        return serve_on_plasticine(t), serve_on_brainwave(t)
+
+    plast, bw = benchmark(both)
+    advantage = plast.latency_s / bw.latency_s
+    assert 1.3 < advantage < 2.7

@@ -1,0 +1,52 @@
+"""Table 6, Plasticine columns: latency / effective TFLOPS / power.
+
+One benchmark per DeepBench point.  Each run executes the full pipeline —
+build the loop-based program, trace it, map and place it on the Table 3
+chip, cycle-simulate, integrate power — and the assertions compare the
+result against the paper's published row (±15% latency, ±40% power).
+"""
+
+import pytest
+
+from repro.api import serve_on_plasticine
+from repro.harness.paper_data import TABLE6, paper_row
+from repro.harness.report import format_table
+from repro.workloads.deepbench import RNNTask, table6_tasks
+
+_ROWS = []
+
+
+@pytest.mark.parametrize(
+    "task", table6_tasks(), ids=lambda t: t.name
+)
+def test_plasticine_point(benchmark, task: RNNTask):
+    result = benchmark.pedantic(
+        serve_on_plasticine, args=(task,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    paper = paper_row(task.kind, task.hidden)
+    _ROWS.append(
+        [
+            task.name,
+            result.latency_ms,
+            paper.latency_plasticine_ms,
+            result.effective_tflops,
+            paper.tflops_plasticine,
+            result.power_w,
+            paper.power_plasticine_w,
+        ]
+    )
+    assert result.latency_ms == pytest.approx(paper.latency_plasticine_ms, rel=0.15)
+    assert result.effective_tflops == pytest.approx(paper.tflops_plasticine, rel=0.15)
+    assert result.power_w == pytest.approx(paper.power_plasticine_w, rel=0.40)
+
+
+def test_render_plasticine_rows(benchmark, artifact):
+    # Runs after the parametrized points; renders the collected rows.
+    assert len(_ROWS) == len(TABLE6)
+    text = benchmark(
+        format_table,
+        ["task", "latency ms", "paper ms", "TFLOPS", "paper TFLOPS", "power W", "paper W"],
+        _ROWS,
+        title="Table 6 (Plasticine columns): measured vs paper",
+    )
+    artifact("table6_plasticine", text)

@@ -1,0 +1,69 @@
+"""Table 7: per-task design parameters via design-space exploration.
+
+Benchmarks the DSE itself (map + cycle-simulate every candidate point)
+and checks the qualitative tuning rule of Section 5.2: small problems
+spend leftover compute on ``hu``; large problems shift it to ``ru``/the
+dot product, and the DSE never loses to the reconstructed paper choice.
+"""
+
+import pytest
+
+from repro.dse import paper_params, tune
+from repro.dse.search import evaluate
+from repro.harness.report import format_table
+from repro.harness.tables import table7
+from repro.plasticine import PlasticineConfig
+from repro.workloads.deepbench import table6_tasks, task
+
+
+def test_dse_single_task(benchmark):
+    result = benchmark.pedantic(tune, args=(task("lstm", 1024),), rounds=2, iterations=1)
+    assert result.best.fits
+    # The dot-product budget is maxed for a large model.
+    assert result.best_params.hu * result.best_params.ru >= 16
+
+
+def test_table7_render(benchmark, artifact):
+    text = benchmark.pedantic(table7, rounds=1, iterations=1)
+    artifact("table7", text)
+    assert "6/400/40" in text  # Brainwave's single parameter set
+
+
+def test_dse_never_loses_to_paper_choice(benchmark, artifact):
+    chip = PlasticineConfig.rnn_serving()
+
+    def sweep():
+        rows = []
+        for t in table6_tasks():
+            best = tune(t, chip).best
+            paper_point = evaluate(t, paper_params(t), chip)
+            rows.append(
+                [t.name,
+                 f"{best.params.hu}/{best.params.ru}",
+                 best.cycles_per_step,
+                 f"{paper_params(t).hu}/{paper_params(t).ru}",
+                 paper_point.cycles_per_step]
+            )
+            assert best.total_cycles <= paper_point.total_cycles, t.name
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    artifact(
+        "table7_dse_vs_paper",
+        format_table(
+            ["task", "dse hu/ru", "dse cyc/step", "paper hu/ru", "paper cyc/step"],
+            rows,
+            title="Table 7: DSE optimum vs reconstructed paper parameters",
+        ),
+    )
+
+
+def test_dse_respects_resource_wall(benchmark):
+    # LSTM cannot afford hu=5 at ru=8 (210 PCUs > 190): every DSE choice
+    # must fit.
+    res = benchmark.pedantic(tune, args=(task("lstm", 2048),), rounds=1, iterations=1)
+    assert res.best.pcus_used <= PlasticineConfig.rnn_serving().usable_pcus
+    infeasible = [p for p in res.points if not p.fits]
+    assert infeasible, "the space should contain over-budget points"
+    for point in res.feasible_points():
+        assert point.total_cycles >= res.best.total_cycles

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered text is printed (visible with ``pytest -s``) and also written to
+``benchmarks/out/<name>.txt`` so artifacts survive captured stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Return a writer: artifact(name, text) prints and persists."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[artifact: benchmarks/out/{name}.txt]")
+
+    return write

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's headline result: Table 6 across four platforms.
+
+Runs every DeepBench point through the CPU (TF+AVX2), GPU (cuDNN/V100),
+Brainwave (Stratix 10) and Plasticine models, printing latencies,
+effective TFLOPS, the Plasticine speedup columns, simulated power, and
+the geometric-mean row — side by side with the paper's published values.
+
+Run: python examples/deepbench_sweep.py
+"""
+
+from repro.harness import table6
+from repro.harness.paper_data import TABLE6_GEOMEAN_SPEEDUPS
+
+
+def main() -> None:
+    result = table6()
+    print(result.text)
+    print()
+    geo = result.geomean_speedups
+    print("Headline claims:")
+    print(
+        f"  geomean speedup vs CPU:       {geo['cpu']:8.1f}x   "
+        f"(paper: {TABLE6_GEOMEAN_SPEEDUPS['cpu']}x)"
+    )
+    print(
+        f"  geomean speedup vs V100:      {geo['gpu']:8.1f}x   "
+        f"(paper: {TABLE6_GEOMEAN_SPEEDUPS['gpu']}x — the abstract's '30x')"
+    )
+    print(
+        f"  geomean speedup vs Brainwave: {geo['brainwave']:8.2f}x   "
+        f"(paper: {TABLE6_GEOMEAN_SPEEDUPS['brainwave']}x)"
+    )
+    crossovers = [
+        name
+        for name, per in result.results.items()
+        if per["plasticine"].speedup_over(per["brainwave"]) < 1.0
+    ]
+    print(f"  Brainwave ahead on: {', '.join(crossovers)} (paper: the largest models)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Serving Recurrent Neural Networks Efficiently
+with a Spatial Accelerator* (Zhao, Zhang, Olukotun; SysML 2019).
+
+The package is organized bottom-up:
+
+* :mod:`repro.precision` — fp8/fp16/fp32 and blocked floating point.
+* :mod:`repro.spatial` — the Spatial-like loop/memory DSL and interpreter.
+* :mod:`repro.plasticine` — the CGRA machine model and cycle simulator.
+* :mod:`repro.mapping` — lowering DSL programs onto the chip.
+* :mod:`repro.rnn` — LSTM/GRU reference and loop-based implementations.
+* :mod:`repro.baselines` — CPU / GPU / Brainwave serving-platform models.
+* :mod:`repro.dse` — design-space exploration over (hu, ru, rv, hv).
+* :mod:`repro.workloads` — the DeepBench task suite.
+* :mod:`repro.analysis` — fragmentation / footprint / utilization studies.
+* :mod:`repro.harness` — regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import serve_on_plasticine
+    from repro.workloads import deepbench
+
+    task = deepbench.task("lstm", hidden=1024, timesteps=25)
+    result = serve_on_plasticine(task)
+    print(result.latency_ms, result.effective_tflops)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+_API_NAMES = (
+    "ServingResult",
+    "serve_on_plasticine",
+    "serve_on_brainwave",
+    "serve_on_cpu",
+    "serve_on_gpu",
+)
+
+__all__ = ["__version__", *_API_NAMES]
+
+
+def __getattr__(name: str):
+    # Lazy import keeps `import repro.precision` cheap and avoids import
+    # cycles while the high-level API lives in repro.api.
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,37 @@
+"""Computation/memory-layout analyses from Section 3 of the paper.
+
+* :mod:`repro.analysis.fragmentation` — Figure 4: utilization loss from
+  2-D tile fragmentation (MVM designs) vs 1-D fragmentation (loop-based).
+* :mod:`repro.analysis.footprint` — Figures 1-3: per-step intermediate
+  buffer footprints and traffic of BasicLSTM, cuDNN, Brainwave, and the
+  loop-based design.
+* :mod:`repro.analysis.utilization` — effective-FLOPS utilization
+  accounting across platforms.
+"""
+
+from repro.analysis.fragmentation import (
+    loop_utilization,
+    mvm_tile_utilization,
+    utilization_sweep,
+)
+from repro.analysis.footprint import (
+    FootprintReport,
+    basic_lstm_footprint,
+    brainwave_footprint,
+    cudnn_lstm_footprint,
+    loop_based_footprint,
+)
+from repro.analysis.utilization import flops_utilization, utilization_table
+
+__all__ = [
+    "mvm_tile_utilization",
+    "loop_utilization",
+    "utilization_sweep",
+    "FootprintReport",
+    "basic_lstm_footprint",
+    "cudnn_lstm_footprint",
+    "brainwave_footprint",
+    "loop_based_footprint",
+    "flops_utilization",
+    "utilization_table",
+]

@@ -1,0 +1,108 @@
+"""Processor machine descriptions: memory hierarchy + peak compute.
+
+Batch-1 RNN serving is weight-streaming bound on processors (every step
+reads every weight once and the working set has no reuse within a step),
+so the dominant term is ``weight_bytes / effective_bandwidth(footprint)``,
+with the effective bandwidth determined by which cache level the weights
+live in.  Capacities/bandwidths here are *effective single-stream* values
+calibrated to the paper's Table 6 (see module docstrings of the CPU/GPU
+models); hardware spec values live in :mod:`repro.harness.platforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["MemoryLevel", "ProcessorMachine", "XEON_SKYLAKE", "TESLA_V100"]
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the load path.
+
+    Attributes:
+        name: Level name ("L2", "L3", "HBM", ...).
+        capacity_bytes: Footprints up to this size stream at this level's
+            bandwidth (None = unbounded, the last level).
+        bandwidth_gbs: Effective single-stream bandwidth in GB/s.
+    """
+
+    name: str
+    capacity_bytes: int | None
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ConfigError(f"{self.name}: bandwidth must be positive")
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+
+
+@dataclass(frozen=True)
+class ProcessorMachine:
+    """A processor platform for the streaming model."""
+
+    name: str
+    clock_ghz: float
+    peak_tflops: float
+    levels: tuple[MemoryLevel, ...]
+    per_step_overhead_s: float
+    init_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if not self.levels or self.levels[-1].capacity_bytes is not None:
+            raise ConfigError("last memory level must be unbounded (capacity None)")
+        caps = [lv.capacity_bytes for lv in self.levels[:-1]]
+        if any(c is None for c in caps) or caps != sorted(caps):  # type: ignore[type-var]
+            raise ConfigError("levels must have increasing finite capacities, last None")
+
+    def effective_bandwidth_gbs(self, footprint_bytes: float) -> float:
+        """Bandwidth of the smallest level the footprint fits in."""
+        if footprint_bytes < 0:
+            raise ConfigError("footprint must be >= 0")
+        for level in self.levels:
+            if level.capacity_bytes is None or footprint_bytes <= level.capacity_bytes:
+                return level.bandwidth_gbs
+        raise AssertionError("unreachable: last level is unbounded")
+
+    def stream_seconds(self, n_bytes: float) -> float:
+        """Time to stream ``n_bytes`` once at the footprint's bandwidth."""
+        return n_bytes / (self.effective_bandwidth_gbs(n_bytes) * 1e9)
+
+    def flops_seconds(self, flops: float, efficiency: float = 1.0) -> float:
+        """Compute-bound time at a fraction of peak."""
+        if not 0 < efficiency <= 1:
+            raise ConfigError("efficiency must be in (0, 1]")
+        return flops / (self.peak_tflops * 1e12 * efficiency)
+
+
+#: Intel Xeon Skylake (dual core, TF 1.10 + AVX2, fp32).  Effective
+#: bandwidths calibrated to Table 6: ~20 GB/s cache-resident small models,
+#: ~18 GB/s mid, ~8.2 GB/s single-stream DRAM for models past ~16 MB.
+#: Peak fp32: 2 cores x 2 FMA x 8 lanes x 2 ops x 2.0 GHz = 128 GFLOPS.
+XEON_SKYLAKE = ProcessorMachine(
+    name="xeon-skylake",
+    clock_ghz=2.0,
+    peak_tflops=0.128,
+    levels=(
+        MemoryLevel("L2", 4 * 2**20, 20.0),
+        MemoryLevel("L3", 16 * 2**20, 18.0),
+        MemoryLevel("DRAM", None, 8.2),
+    ),
+    per_step_overhead_s=1e-6,
+    init_overhead_s=400e-6,
+)
+
+#: NVIDIA Tesla V100 SXM2 (TF + cuDNN, fp16).  Effective HBM bandwidth for
+#: cuDNN's batch-1 GEMV calibrated to 850 GB/s; 9 us kernel chain overhead
+#: per step; one-time cuDNN plan/init ~390 us (the paper's GRU-512 note).
+TESLA_V100 = ProcessorMachine(
+    name="tesla-v100",
+    clock_ghz=1.38,
+    peak_tflops=15.7,
+    levels=(MemoryLevel("HBM2", None, 850.0),),
+    per_step_overhead_s=9e-6,
+    init_overhead_s=390e-6,
+)

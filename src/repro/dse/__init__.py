@@ -1,0 +1,26 @@
+"""Design-space exploration over the loop knobs (hu, ru, rv).
+
+Spatial "exposes important design parameters such as blocking size and
+unrolling factor ... users can easily tune their design either manually or
+with an external DSE engine" (Section 2.3).  This package is that engine
+for the RNN-serving designs:
+
+* :mod:`repro.dse.space` — enumerate candidate parameter points.
+* :mod:`repro.dse.search` — map + simulate each feasible point, keep the
+  latency-optimal one.
+* :mod:`repro.dse.tuner` — per-task selection, plus the paper's published
+  and reconstructed Table 7 parameter sets.
+"""
+
+from repro.dse.space import ParameterSpace
+from repro.dse.search import DSEResult, SearchPoint, search
+from repro.dse.tuner import paper_params, tune
+
+__all__ = [
+    "ParameterSpace",
+    "search",
+    "SearchPoint",
+    "DSEResult",
+    "tune",
+    "paper_params",
+]

@@ -1,0 +1,134 @@
+"""Exhaustive map-and-simulate search over a parameter space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DSEError
+from repro.dse.space import ParameterSpace
+from repro.mapping.mapper import MappedDesign, map_rnn_program
+from repro.plasticine.chip import PlasticineConfig
+from repro.plasticine.simulator import simulate_pipeline
+from repro.rnn.gru_loop import build_gru_program
+from repro.rnn.lstm_loop import LoopParams, build_lstm_program
+from repro.rnn.params import GRUWeights, LSTMWeights
+from repro.workloads.deepbench import RNNTask
+
+__all__ = ["SearchPoint", "DSEResult", "search", "build_task_program"]
+
+
+def _zero_weights(task: RNNTask):
+    """Weight containers backed by broadcast zero views — no allocation,
+    usable for tracing/mapping (performance estimation only)."""
+    shape = task.shape
+    w = {
+        g: np.broadcast_to(0.0, (shape.hidden, shape.concat_dim))
+        for g in shape.gate_names
+    }
+    b = {g: np.broadcast_to(0.0, (shape.hidden,)) for g in shape.gate_names}
+    cls = LSTMWeights if task.kind == "lstm" else GRUWeights
+    return cls(shape=shape, w=w, b=b)
+
+
+def build_task_program(task: RNNTask, params: LoopParams, *, weights=None, xs=None):
+    """Build the loop-based program for a task (zero weights by default —
+    sufficient for mapping and timing; pass real weights for functional
+    runs)."""
+    if weights is None:
+        weights = _zero_weights(task)
+    if xs is None:
+        xs = np.broadcast_to(0.0, (task.timesteps, task.shape.input_dim))
+    builder = build_lstm_program if task.kind == "lstm" else build_gru_program
+    return builder(weights, xs, params)
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One evaluated design point."""
+
+    params: LoopParams
+    cycles_per_step: int
+    total_cycles: int
+    fits: bool
+    pcus_used: int
+    pmus_used: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_cycles / 1e9  # points are compared at 1 GHz
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    """Search outcome: best feasible point plus the full frontier."""
+
+    task: RNNTask
+    best: SearchPoint
+    points: tuple[SearchPoint, ...] = field(repr=False)
+
+    @property
+    def best_params(self) -> LoopParams:
+        return self.best.params
+
+    def feasible_points(self) -> tuple[SearchPoint, ...]:
+        return tuple(p for p in self.points if p.fits)
+
+
+def evaluate(
+    task: RNNTask,
+    params: LoopParams,
+    chip: PlasticineConfig,
+    *,
+    bits: int = 8,
+    require_capacity: bool = False,
+) -> SearchPoint:
+    """Map and simulate one candidate point."""
+    prog = build_task_program(task, params)
+    design: MappedDesign = map_rnn_program(prog, chip, bits=bits)
+    sim = simulate_pipeline(design.graph)
+    res = design.resources
+    fits = res.fits_compute and res.fits_bandwidth
+    if require_capacity:
+        fits = fits and res.fits_capacity
+    return SearchPoint(
+        params=params,
+        cycles_per_step=sim.cycles_per_step + sim.step_overhead,
+        total_cycles=sim.total_cycles,
+        fits=fits,
+        pcus_used=res.pcus_used,
+        pmus_used=res.pmus_used,
+    )
+
+
+def search(
+    task: RNNTask,
+    chip: PlasticineConfig | None = None,
+    space: ParameterSpace | None = None,
+    *,
+    bits: int = 8,
+    require_capacity: bool = False,
+) -> DSEResult:
+    """Search the space, returning the latency-optimal feasible point.
+
+    Ties break toward fewer PCUs (cheaper design, same speed).
+
+    Args:
+        require_capacity: Also require the weights to fit on-chip; off by
+            default because the paper's largest tasks exceed the 31.5 MB
+            scratchpad yet are still evaluated (see EXPERIMENTS.md).
+    """
+    chip = chip or PlasticineConfig.rnn_serving()
+    space = space or ParameterSpace()
+    points = [
+        evaluate(task, params, chip, bits=bits, require_capacity=require_capacity)
+        for params in space.candidates(task, chip, bits)
+    ]
+    if not points:
+        raise DSEError(f"no candidate points for {task.name}")
+    feasible = [p for p in points if p.fits]
+    if not feasible:
+        raise DSEError(f"no feasible design for {task.name} on {chip.name}")
+    best = min(feasible, key=lambda p: (p.total_cycles, p.pcus_used))
+    return DSEResult(task=task, best=best, points=tuple(points))

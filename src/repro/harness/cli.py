@@ -1,0 +1,143 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    python -m repro table3|table4|table5|table6|table7
+    python -m repro figure1_3|figure4|figure6|figure7
+    python -m repro claims           # the abstract's headline claims
+    python -m repro serve lstm 1024  # one task on all four platforms
+    python -m repro all              # everything (slow: runs the DSE)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table(name: str) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        from repro.harness import tables
+
+        fn = getattr(tables, name)
+        out = fn()
+        return out.text if hasattr(out, "text") else out
+
+    return run
+
+
+def _cmd_figure(name: str) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        from repro.harness import figures
+
+        return getattr(figures, name)()
+
+    return run
+
+
+def _cmd_claims(args: argparse.Namespace) -> str:
+    from repro.analysis.efficiency import abstract_claims
+
+    return abstract_claims().text
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.api import (
+        serve_on_brainwave,
+        serve_on_cpu,
+        serve_on_gpu,
+        serve_on_plasticine,
+    )
+    from repro.harness.report import format_table
+    from repro.workloads.deepbench import task
+
+    t = task(args.kind, args.hidden, args.timesteps)
+    rows = []
+    plat = serve_on_plasticine(t)
+    for res in (serve_on_cpu(t), serve_on_gpu(t), serve_on_brainwave(t), plat):
+        rows.append(
+            [
+                res.platform,
+                res.latency_ms,
+                res.effective_tflops,
+                plat.speedup_over(res) if res is not plat else 1.0,
+                res.power_w if res.power_w is not None else "-",
+            ]
+        )
+    return format_table(
+        ["platform", "latency ms", "eff TFLOPS", "plasticine speedup", "power W"],
+        rows,
+        title=f"Serving {t.name}",
+    )
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    from repro.harness import (
+        figure1_3_footprints,
+        figure4_fragmentation,
+        figure6_pcu_timing,
+        figure7_layouts,
+        table3,
+        table4,
+        table5,
+        table6,
+        table7,
+    )
+
+    parts = [
+        table3(), table4(), table5(), table6().text, table7(),
+        figure1_3_footprints(), figure4_fragmentation(),
+        figure6_pcu_timing(), figure7_layouts(),
+    ]
+    return "\n\n".join(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from 'Serving RNNs Efficiently "
+        "with a Spatial Accelerator' (SysML 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table3", "table4", "table5", "table6", "table7"):
+        sub.add_parser(name, help=f"regenerate {name}").set_defaults(
+            fn=_cmd_table(name)
+        )
+    for cli_name, fn_name in (
+        ("figure1_3", "figure1_3_footprints"),
+        ("figure4", "figure4_fragmentation"),
+        ("figure6", "figure6_pcu_timing"),
+        ("figure7", "figure7_layouts"),
+    ):
+        sub.add_parser(cli_name, help=f"regenerate {cli_name}").set_defaults(
+            fn=_cmd_figure(fn_name)
+        )
+    sub.add_parser("claims", help="check the abstract's claims").set_defaults(
+        fn=_cmd_claims
+    )
+
+    serve = sub.add_parser("serve", help="serve one task on all platforms")
+    serve.add_argument("kind", choices=["lstm", "gru"])
+    serve.add_argument("hidden", type=int)
+    serve.add_argument("timesteps", type=int, nargs="?", default=None)
+    serve.set_defaults(fn=_cmd_serve)
+
+    sub.add_parser("all", help="everything (slow)").set_defaults(fn=_cmd_all)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.fn(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0

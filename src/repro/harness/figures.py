@@ -1,0 +1,115 @@
+"""Regenerate the paper's figures as numeric series and diagrams.
+
+The figures are qualitative diagrams in the paper; here each becomes a
+quantitative artifact:
+
+* Figure 1/2/3 — per-step intermediate footprints of the four LSTM
+  implementations over an H sweep.
+* Figure 4 — utilization under 2-D (MVM tile) vs 1-D (loop) fragmentation.
+* Figure 6 — PCU map-reduce stage/cycle counts for every combination of
+  the fused and folded micro-architecture options.
+* Figure 7 — the checkerboard and RNN-variant chip layouts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.footprint import (
+    basic_lstm_footprint,
+    brainwave_footprint,
+    cudnn_lstm_footprint,
+    loop_based_footprint,
+)
+from repro.analysis.fragmentation import utilization_sweep
+from repro.harness.report import format_table
+from repro.plasticine.network import GridLayout
+from repro.plasticine.pcu import PCUConfig
+
+__all__ = [
+    "figure1_3_footprints",
+    "figure4_fragmentation",
+    "figure6_pcu_timing",
+    "figure7_layouts",
+]
+
+
+def figure1_3_footprints(sizes: list[int] | None = None) -> str:
+    """Figures 1-3: intermediate bytes per step, per implementation."""
+    sizes = sizes or [256, 512, 1024, 2048]
+    rows = []
+    for h in sizes:
+        impls = [
+            basic_lstm_footprint(h),
+            cudnn_lstm_footprint(h),
+            brainwave_footprint(h),
+            loop_based_footprint(h),
+        ]
+        rows.append([h] + [i.total_bytes for i in impls])
+    return format_table(
+        ["H", "BasicLSTM (B)", "CudnnLSTM (B)", "Brainwave (B)", "Loop-based (B)"],
+        rows,
+        title="Figures 1-3: per-step intermediate buffer footprint",
+    )
+
+
+def figure4_fragmentation(sizes: list[int] | None = None) -> str:
+    """Figure 4: compute utilization, MVM-tiled vs loop-based."""
+    points = utilization_sweep(sizes)
+    rows = [
+        [p.h, p.r, round(p.mvm_utilization, 3), round(p.loop_utilization, 3),
+         round(p.advantage, 2)]
+        for p in points
+    ]
+    return format_table(
+        ["H", "R", "MVM util (2-D frag)", "loop util (1-D frag)", "advantage"],
+        rows,
+        title="Figure 4: fragmentation-driven utilization",
+    )
+
+
+def figure6_pcu_timing() -> str:
+    """Figure 6: the PCU's low-precision map-reduce under each
+    micro-architectural option (stage usage, latency, FU utilization)."""
+    rows = []
+    for fused in (False, True):
+        for folded in (False, True):
+            stages_budget = 4 if (fused and folded) else 12
+            pcu = PCUConfig(
+                lanes=16,
+                stages=stages_budget,
+                fused_low_precision=fused,
+                folded_reduction=folded,
+            )
+            t = pcu.map_reduce_timing(8)
+            rows.append(
+                [
+                    "fused" if fused else "unfused",
+                    "folded" if folded else "tree-per-stage",
+                    t.stages_used,
+                    t.depth_cycles,
+                    t.elements_per_cycle,
+                    round(pcu.reduction_fu_utilization(), 3),
+                ]
+            )
+    return format_table(
+        ["map ops", "reduction", "stages used", "latency (cyc)", "elems/cyc", "tree FU util"],
+        rows,
+        title="Figure 6: PCU low-precision map-reduce (16 lanes, 8-bit)",
+    )
+
+
+def figure7_layouts() -> str:
+    """Figure 7: original checkerboard vs the RNN-serving variant."""
+    checker = GridLayout.checkerboard(16, 8)
+    variant = GridLayout.rnn_variant(24, 24)
+    lines = [
+        "Figure 7: chip layouts",
+        "",
+        f"original checkerboard ({checker.n_pcu} PCU / {checker.n_pmu} PMU, "
+        f"ratio {checker.pmu_to_pcu_ratio:.1f}):",
+        checker.ascii_diagram(4, 8),
+        "",
+        f"RNN-serving variant ({variant.n_pcu} PCU / {variant.n_pmu} PMU, "
+        f"ratio {variant.pmu_to_pcu_ratio:.1f}):",
+        variant.ascii_diagram(4, 9),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Every number the paper publishes, as typed data.
+
+Source: Zhao, Zhang, Olukotun, "Serving Recurrent Neural Networks
+Efficiently with a Spatial Accelerator", SysML 2019 (arXiv:1909.13654).
+
+Table 6 is the headline result; the dataclass carries one row per
+(cell, H, T) point with the four platforms' latency, effective TFLOPS,
+Plasticine speedups, and simulated Plasticine power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Table6Row",
+    "TABLE6",
+    "TABLE6_GEOMEAN_SPEEDUPS",
+    "TABLE3_CONFIG",
+    "TABLE7_BRAINWAVE",
+    "paper_row",
+]
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One row of Table 6 (latencies in ms, power in W)."""
+
+    kind: str
+    hidden: int
+    timesteps: int
+    latency_cpu_ms: float
+    latency_gpu_ms: float
+    latency_bw_ms: float
+    latency_plasticine_ms: float
+    tflops_cpu: float
+    tflops_gpu: float
+    tflops_bw: float
+    tflops_plasticine: float
+    speedup_vs_cpu: float
+    speedup_vs_gpu: float
+    speedup_vs_bw: float
+    power_plasticine_w: float
+
+
+TABLE6: tuple[Table6Row, ...] = (
+    Table6Row("lstm", 256, 150, 15.75, 1.69, 0.425, 0.0419,
+              0.010, 0.09, 0.37, 3.8, 376.3, 40.4, 10.2, 28.5),
+    Table6Row("lstm", 512, 25, 11.50, 0.60, 0.077, 0.0139,
+              0.009, 0.18, 1.37, 7.6, 830.3, 43.2, 5.6, 53.7),
+    Table6Row("lstm", 1024, 25, 107.65, 0.71, 0.074, 0.0292,
+              0.004, 0.59, 5.68, 14.4, 3686.6, 24.3, 2.5, 97.2),
+    Table6Row("lstm", 1536, 50, 411.00, 4.38, 0.145, 0.1224,
+              0.005, 0.43, 13.01, 15.4, 3357.8, 35.8, 1.2, 102.7),
+    Table6Row("lstm", 2048, 25, 429.36, 1.55, 0.074, 0.1060,
+              0.004, 1.08, 22.62, 15.8, 4050.6, 14.6, 0.7, 104.5),
+    Table6Row("gru", 512, 1, 0.91, 0.39, 0.013, 0.0004,
+              0.003, 0.01, 0.25, 7.6, 2182.3, 942.4, 31.2, 61.9),
+    Table6Row("gru", 1024, 1500, 3810.00, 33.77, 3.792, 1.4430,
+              0.005, 0.56, 4.98, 13.1, 2640.3, 23.4, 2.6, 109.1),
+    Table6Row("gru", 1536, 375, 2730.00, 13.12, 0.951, 0.7463,
+              0.004, 0.81, 11.17, 14.2, 3658.3, 17.6, 1.3, 114.6),
+    Table6Row("gru", 2048, 375, 5040.00, 17.70, 0.954, 1.2833,
+              0.004, 1.07, 19.79, 14.7, 3927.5, 13.8, 0.7, 101.2),
+    Table6Row("gru", 2560, 375, 7590.00, 23.57, 0.993, 1.9733,
+              0.004, 1.25, 29.69, 15.0, 3846.4, 11.9, 0.5, 117.2),
+)
+
+#: Table 6's "Geometric Mean" row: Plasticine speedup vs CPU / GPU / BW.
+TABLE6_GEOMEAN_SPEEDUPS = {"cpu": 2529.3, "gpu": 29.8, "brainwave": 2.0}
+
+#: Table 3: the Plasticine configuration used in the evaluation.
+TABLE3_CONFIG = {
+    "rows": 24,
+    "cols": 24,
+    "n_pcu": 192,
+    "n_pmu": 384,
+    "lanes": 16,
+    "stages": 4,
+    "pmu_capacity_kb": 84,
+}
+
+#: Table 7: Brainwave's single parameter set on Stratix 10 (the
+#: Plasticine columns did not survive PDF extraction intact and are
+#: reconstructed in :mod:`repro.dse.tuner`).
+TABLE7_BRAINWAVE = {"ru": 6, "hv": 400, "rv": 40}
+
+
+def paper_row(kind: str, hidden: int) -> Table6Row:
+    """Look up a Table 6 row."""
+    for row in TABLE6:
+        if row.kind == kind and row.hidden == hidden:
+            return row
+    raise KeyError(f"no Table 6 row for {kind} H={hidden}")

@@ -1,0 +1,77 @@
+"""Text-table formatting and paper-vs-measured comparison helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["format_table", "geometric_mean", "Comparison", "compare"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the aggregation Table 6 uses for speedups)."""
+    if not values:
+        raise ConfigError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric_mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A measured value against the paper's published value."""
+
+    label: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper
+
+    @property
+    def rel_error(self) -> float:
+        return self.measured / self.paper - 1.0
+
+    def within(self, tolerance: float) -> bool:
+        return abs(self.rel_error) <= tolerance
+
+    def describe(self) -> str:
+        return f"{self.label}: paper {self.paper:.4g}, measured {self.measured:.4g} ({self.rel_error:+.1%})"
+
+
+def compare(label: str, paper: float, measured: float) -> Comparison:
+    if paper <= 0:
+        raise ConfigError(f"{label}: paper value must be positive")
+    return Comparison(label=label, paper=paper, measured=measured)

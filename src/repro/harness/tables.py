@@ -1,0 +1,163 @@
+"""Regenerate the paper's tables with live measurements.
+
+Each ``tableN()`` returns a structured result plus a ``text`` rendering
+that prints the same rows the paper reports, side by side with the
+paper's published values where applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import (
+    ServingResult,
+    serve_on_brainwave,
+    serve_on_cpu,
+    serve_on_gpu,
+    serve_on_plasticine,
+)
+from repro.dse.tuner import paper_params, tune
+from repro.harness.paper_data import TABLE6, TABLE6_GEOMEAN_SPEEDUPS, paper_row
+from repro.harness.platforms import PLATFORMS
+from repro.harness.report import format_table, geometric_mean
+from repro.plasticine.area_power import AreaPowerModel
+from repro.plasticine.chip import PlasticineConfig
+from repro.workloads.deepbench import RNNTask, table6_tasks
+
+__all__ = ["table3", "table4", "table5", "table6", "table7", "Table6Result"]
+
+
+def table3() -> str:
+    """Table 3: Plasticine configuration."""
+    chip = PlasticineConfig.rnn_serving()
+    d = chip.describe()
+    rows = [
+        ["# Row", chip.layout.rows, "# Column", chip.layout.cols],
+        ["# PCU", d["n_pcu"], "# PMU", d["n_pmu"]],
+        ["# Lanes in PCU", d["lanes"], "# Stages in PCU", d["stages"]],
+        ["Scratchpad per PMU (kB)", d["pmu_capacity_kb"], "On-chip total (MB)", d["onchip_mb"]],
+    ]
+    return format_table(["", "", "", ""], rows, title="Table 3: Plasticine configuration")
+
+
+def table4() -> str:
+    """Table 4: hardware specifications of the four platforms."""
+    model = AreaPowerModel()
+    chip = PlasticineConfig.rnn_serving()
+    derived_area = model.chip_area_mm2(chip)
+    headers = ["Specification"] + [p.display_name for p in PLATFORMS.values()]
+    rows = [
+        ["Max clock (GHz)"] + [p.max_clock_ghz for p in PLATFORMS.values()],
+        ["On-chip memory (MB)"] + [p.onchip_memory_mb for p in PLATFORMS.values()],
+        ["Peak 32-bit TFLOPS"] + [p.peak_tflops_32bit or "-" for p in PLATFORMS.values()],
+        ["Peak 8-bit TFLOPS"] + [p.peak_tflops_8bit or "-" for p in PLATFORMS.values()],
+        ["Technology (nm)"] + [p.technology_nm for p in PLATFORMS.values()],
+        ["Die area (mm2)"] + [p.die_area_mm2 for p in PLATFORMS.values()],
+        ["TDP (W)"] + [p.tdp_w for p in PLATFORMS.values()],
+        ["Die area, our model (mm2)", "-", "-", "-", round(derived_area, 2)],
+        ["TDP, our model (W)", "-", "-", "-", round(model.chip_tdp_w(chip), 1)],
+    ]
+    return format_table(headers, rows, title="Table 4: hardware specifications")
+
+
+def table5() -> str:
+    """Table 5: application configurations."""
+    headers = ["Platform", "Framework", "Achieved clock (GHz)", "Precision"]
+    rows = [
+        [p.display_name, p.software_framework, p.achieved_clock_ghz, p.precision]
+        for p in PLATFORMS.values()
+    ]
+    return format_table(headers, rows, title="Table 5: application configurations")
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """Live Table 6: per-task results plus geomean speedups."""
+
+    results: dict[str, dict[str, ServingResult]] = field(repr=False)
+    geomean_speedups: dict[str, float] = field(default_factory=dict)
+    text: str = ""
+
+
+def table6(tasks: tuple[RNNTask, ...] | None = None) -> Table6Result:
+    """Regenerate Table 6 across all four platforms.
+
+    Latency / effective TFLOPS / Plasticine speedups / simulated power per
+    task, with the paper's values inline for comparison.
+    """
+    tasks = tasks or table6_tasks()
+    results: dict[str, dict[str, ServingResult]] = {}
+    rows = []
+    speedups: dict[str, list[float]] = {"cpu": [], "gpu": [], "brainwave": []}
+    for task in tasks:
+        per = {
+            "cpu": serve_on_cpu(task),
+            "gpu": serve_on_gpu(task),
+            "brainwave": serve_on_brainwave(task),
+            "plasticine": serve_on_plasticine(task),
+        }
+        results[task.name] = per
+        plat = per["plasticine"]
+        for key in speedups:
+            speedups[key].append(plat.speedup_over(per[key]))
+        try:
+            paper = paper_row(task.kind, task.hidden)
+            paper_lat, paper_pow = paper.latency_plasticine_ms, paper.power_plasticine_w
+        except KeyError:
+            paper_lat = paper_pow = float("nan")
+        rows.append(
+            [
+                task.name,
+                per["cpu"].latency_ms,
+                per["gpu"].latency_ms,
+                per["brainwave"].latency_ms,
+                plat.latency_ms,
+                paper_lat,
+                plat.effective_tflops,
+                plat.speedup_over(per["cpu"]),
+                plat.speedup_over(per["gpu"]),
+                plat.speedup_over(per["brainwave"]),
+                plat.power_w,
+                paper_pow,
+            ]
+        )
+    geo = {k: geometric_mean(v) for k, v in speedups.items()}
+    rows.append(
+        ["geomean", "", "", "", "", "", "",
+         geo["cpu"], geo["gpu"], geo["brainwave"], "", ""]
+    )
+    rows.append(
+        ["geomean (paper)", "", "", "", "", "", "",
+         TABLE6_GEOMEAN_SPEEDUPS["cpu"], TABLE6_GEOMEAN_SPEEDUPS["gpu"],
+         TABLE6_GEOMEAN_SPEEDUPS["brainwave"], "", ""]
+    )
+    text = format_table(
+        [
+            "task", "cpu ms", "gpu ms", "bw ms", "plast ms", "plast ms (paper)",
+            "plast TFLOPS", "x cpu", "x gpu", "x bw", "power W", "power W (paper)",
+        ],
+        rows,
+        title="Table 6: DeepBench inference (measured vs paper)",
+    )
+    return Table6Result(results=results, geomean_speedups=geo, text=text)
+
+
+def table7(tasks: tuple[RNNTask, ...] | None = None, run_dse: bool = True) -> str:
+    """Table 7: per-task design parameters — Brainwave's fixed set, our
+    reconstructed paper parameters, and (optionally) the DSE optimum."""
+    from repro.workloads.deepbench import all_tasks
+
+    tasks = tasks or all_tasks()
+    headers = ["task", "BW ru/hv/rv", "paper hu/ru/rv", "dse hu/ru/rv", "dse cyc/step"]
+    rows = []
+    for task in tasks:
+        pp = paper_params(task)
+        paper_txt = f"{pp.hu}/{pp.ru}/{pp.rv}" if pp else "-"
+        if run_dse:
+            res = tune(task)
+            dse_txt = f"{res.best_params.hu}/{res.best_params.ru}/{res.best_params.rv}"
+            cyc = res.best.cycles_per_step
+        else:
+            dse_txt, cyc = "-", "-"
+        rows.append([task.name, "6/400/40", paper_txt, dse_txt, cyc])
+    return format_table(headers, rows, title="Table 7: design parameters")

@@ -1,0 +1,25 @@
+"""Lowering traced DSL programs onto the Plasticine chip.
+
+* :mod:`repro.mapping.pipeline` — the :class:`PipelineGraph` intermediate
+  form: placed stages with initiation intervals, latencies and routed
+  edges; what the cycle simulator executes.
+* :mod:`repro.mapping.resources` — resource accounting (PCUs, PMUs,
+  scratchpad bytes) and fit checking.
+* :mod:`repro.mapping.mapper` — recognizes the paper's RNN loop idiom in
+  a trace and builds the placed pipeline graph (Section 4's mapping:
+  Reduce loops onto PCU map-reduce pipelines, element-wise chains onto
+  chained PCUs, memories onto PMUs).
+"""
+
+from repro.mapping.pipeline import PipelineGraph, Stage
+from repro.mapping.resources import ResourceReport, resource_report
+from repro.mapping.mapper import MappedDesign, map_rnn_program
+
+__all__ = [
+    "PipelineGraph",
+    "Stage",
+    "ResourceReport",
+    "resource_report",
+    "MappedDesign",
+    "map_rnn_program",
+]

@@ -1,0 +1,376 @@
+"""Lowering RNN loop nests onto Plasticine (paper Section 4).
+
+The mapper recognizes the RNN serving idiom in a traced program:
+
+.. code-block:: text
+
+    Sequential.Foreach(T)            # time steps, h_t feedback
+      Foreach(D, par=rv)             # x streaming (overlapped)
+      Foreach(H, par=hu)             # the cell loop: one output element
+        Reduce(R by rv par ru) x G   # fused gate dot products
+        ... element-wise ops + LUTs  # gate non-linearities, cell update
+
+and lowers it into a placed :class:`~repro.mapping.pipeline.PipelineGraph`:
+
+* each gate's Reduce group becomes a **dot stage**: ``ru`` map-reduce PCUs,
+  each fed by two PMUs (its weight slice + its copy of ``[x, h]``) — the
+  bandwidth pairing behind the chip's 2:1 PMU:PCU ratio;
+* each gate gets an **accumulate stage**: the cross-PCU reduction tree
+  over the ``ru`` partial sums, the bias add and the non-linearity LUT;
+* the remaining element-wise operations chain through PCUs in a single
+  **ew stage** (the fusion that keeps all intermediates in registers);
+* a **writeback stage** broadcasts each produced ``h`` element to every
+  ``[x, h]`` PMU copy for the next time step.
+
+Placement is deterministic and locality-aware (nearest-available units on
+the actual grid), so edge route latencies come from real Manhattan
+distances rather than constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.mapping.pipeline import PipelineGraph, Stage
+from repro.mapping.resources import ResourceReport, resource_report
+from repro.plasticine.chip import PlasticineConfig
+from repro.plasticine.network import Coord
+from repro.spatial.builder import Program
+from repro.spatial.ir import LoopKind, LoopRecord, OpKind
+
+__all__ = ["MappedDesign", "map_rnn_program", "SEQ_SYNC_CYCLES"]
+
+#: Control overhead of one Sequential time-step boundary: the outer
+#: controller's done/enable token exchange through the fabric.  This is
+#: the model's single calibrated timing constant (see EXPERIMENTS.md);
+#: every other latency derives from structure and placement.
+SEQ_SYNC_CYCLES = 16
+
+
+@dataclass(frozen=True)
+class GateGroup:
+    """One gate's reduce loops (one for LSTM, x-part + h-part for GRU)."""
+
+    name: str
+    reduces: tuple[LoopRecord, ...]
+
+    @property
+    def issue_blocks(self) -> int:
+        """Sequential block issues per cell iteration = the gate's II."""
+        return sum(r.issue_count for r in self.reduces)
+
+    @property
+    def ru(self) -> int:
+        return max(r.par for r in self.reduces)
+
+    @property
+    def rv(self) -> int:
+        return max(r.step for r in self.reduces)
+
+
+@dataclass
+class MappedDesign:
+    """A lowered design: the placed pipeline plus its resource report."""
+
+    program_name: str
+    chip: PlasticineConfig
+    graph: PipelineGraph
+    resources: ResourceReport
+    gates: tuple[GateGroup, ...]
+    hu: int
+    n_iterations: int
+    steps: int
+    bits: int
+
+    @property
+    def ru(self) -> int:
+        return max(g.ru for g in self.gates)
+
+    @property
+    def rv(self) -> int:
+        return max(g.rv for g in self.gates)
+
+
+class _Placer:
+    """Greedy nearest-available allocation of grid units."""
+
+    def __init__(self, chip: PlasticineConfig):
+        self.chip = chip
+        self.free_pcus = list(chip.layout.pcus)
+        self.free_pmus = list(chip.layout.pmus)
+
+    def _take(self, pool: list[Coord], k: int, near: Coord) -> list[Coord]:
+        if k > len(pool):
+            # Out of physical units: synthesize overflow coordinates at the
+            # grid edge so timing stays defined; the resource report flags
+            # the overflow.
+            pool_sorted = sorted(pool, key=lambda p: self.chip.layout.manhattan(near, p))
+            taken = list(pool_sorted)
+            del pool[:]
+            edge = (self.chip.layout.rows - 1, self.chip.layout.cols - 1)
+            taken.extend([edge] * (k - len(taken)))
+            return taken
+        pool.sort(key=lambda p: self.chip.layout.manhattan(near, p))
+        taken = pool[:k]
+        del pool[:k]
+        return taken
+
+    def take_pcus(self, k: int, near: Coord) -> list[Coord]:
+        return self._take(self.free_pcus, k, near)
+
+    def take_pmus(self, k: int, near: Coord) -> list[Coord]:
+        return self._take(self.free_pmus, k, near)
+
+
+def _centroid(coords: list[Coord]) -> Coord:
+    r = round(sum(c[0] for c in coords) / len(coords))
+    c = round(sum(c[1] for c in coords) / len(coords))
+    return (int(r), int(c))
+
+
+def _find_structure(root: LoopRecord):
+    """Locate the time-step loop, cell loop, and gate reduce groups."""
+    seq_loops = [c for c in root.children if c.kind is LoopKind.SEQUENTIAL]
+    if len(seq_loops) != 1:
+        raise MappingError(
+            f"expected exactly one Sequential time-step loop, found {len(seq_loops)}"
+        )
+    steps_loop = seq_loops[0]
+
+    cell_candidates = [
+        c
+        for c in steps_loop.children
+        if c.kind is LoopKind.FOREACH
+        and any(g.kind is LoopKind.REDUCE for g in c.children)
+    ]
+    if len(cell_candidates) != 1:
+        raise MappingError(
+            f"expected exactly one cell Foreach containing Reduce loops, "
+            f"found {len(cell_candidates)}"
+        )
+    cell = cell_candidates[0]
+
+    dots = [c for c in cell.children if c.kind is LoopKind.REDUCE]
+    if not dots:
+        raise MappingError("cell loop has no Reduce children")
+
+    groups: dict[str, list[LoopRecord]] = {}
+    for idx, dot in enumerate(dots):
+        label = dot.label
+        if label.startswith("dot_") and len(label) > 4:
+            key = f"gate_{label[4]}"  # dot_zx / dot_zh -> gate_z
+        else:
+            key = f"gate{idx}"
+        groups.setdefault(key, []).append(dot)
+    gates = tuple(GateGroup(name, tuple(rs)) for name, rs in groups.items())
+    return steps_loop, cell, gates
+
+
+def _tree_latency(pcu_coords: list[Coord], chip: PlasticineConfig) -> int:
+    """Latency of the cross-PCU reduction tree over one gate's partials.
+
+    Pairs adjacent PCUs level by level; each level costs the routed hop
+    between the paired units plus one add cycle.
+    """
+    coords = list(pcu_coords)
+    latency = 0
+    while len(coords) > 1:
+        half = len(coords) // 2
+        hop = max(
+            chip.layout.route_cycles(coords[i], coords[i + half], chip.hop_latency)
+            for i in range(half)
+        )
+        latency += hop + 1
+        coords = coords[:half] + coords[2 * half :]
+    return latency
+
+
+def _memory_footprint(prog: Program) -> tuple[int, int, int]:
+    """(weight_bytes, state_bytes, lut_bytes) from declared memories."""
+    weight = state = lut = 0
+    for sram in prog.memories.srams.values():
+        nbytes = sram.storage_bytes(sram.dtype.total_bytes if sram.dtype else 1)
+        if sram.name.startswith(("w", "b")):
+            weight += nbytes
+        elif sram.name in ("x_seq", "y_seq"):
+            continue  # streamed from/to the host, not resident
+        else:
+            state += nbytes
+    for table in prog.memories.luts.values():
+        lut += table.storage_bytes()
+    return weight, state, lut
+
+
+def map_rnn_program(
+    prog: Program,
+    chip: PlasticineConfig | None = None,
+    *,
+    bits: int = 8,
+    seq_sync_cycles: int = SEQ_SYNC_CYCLES,
+) -> MappedDesign:
+    """Lower a loop-based RNN program onto a Plasticine configuration.
+
+    Args:
+        prog: A program built by :func:`repro.rnn.build_lstm_program` or
+            :func:`repro.rnn.build_gru_program` (or any program matching
+            the RNN idiom documented in this module).
+        chip: Target chip (default: the Table 3 RNN-serving variant).
+        bits: Weight/multiply precision (8, 16, or 32) — determines the
+            per-PCU dot width via packing.
+        seq_sync_cycles: Sequential-loop control overhead per step.
+
+    Returns:
+        A :class:`MappedDesign` with the placed pipeline graph.
+    """
+    chip = chip or PlasticineConfig.rnn_serving()
+    root = prog.trace()
+    steps_loop, cell, gates = _find_structure(root)
+
+    hu = cell.par
+    n_iter = cell.issue_count
+    pcu_rv = chip.dot_lanes_per_pcu(bits)
+    timing = chip.pcu.map_reduce_timing(bits)
+
+    graph = PipelineGraph(
+        name=prog.name,
+        n_iterations=n_iter,
+        steps=steps_loop.extent,
+        replicas=hu,
+        step_overhead=seq_sync_cycles,
+    )
+    placer = _Placer(chip)
+    anchor: Coord = (chip.layout.rows // 2, 0)
+
+    # All replicas are physically placed so route latencies reflect the
+    # full design footprint; stage resource counts stay per-replica (the
+    # graph multiplies by `replicas`), and edge routes take the worst
+    # case over the placed units.
+    state_pmu_coords: list[Coord] = []
+    accum_coords: list[Coord] = []
+    graph.add_stage(
+        Stage("load_x", ii=1, latency=chip.hop_latency + 1, coord=anchor)
+    )
+
+    for gate in gates:
+        # One MapReduce unit may span several PCUs if the program's rv
+        # exceeds what one PCU consumes per cycle.
+        pcus_per_unit = max(1, math.ceil(gate.rv / pcu_rv))
+        n_dot_pcus = gate.ru * pcus_per_unit
+        dot_pcus = placer.take_pcus(n_dot_pcus * hu, anchor)
+        # Two PMUs per dot PCU: the weight slice and the [x, h] copy.
+        placer.take_pmus(n_dot_pcus * hu, dot_pcus[0])  # weight slices
+        xh_pmus = placer.take_pmus(n_dot_pcus * hu, dot_pcus[0])
+        state_pmu_coords.extend(xh_pmus)
+
+        dot_coord = _centroid(dot_pcus)
+        dot = graph.add_stage(
+            Stage(
+                f"dot_{gate.name}",
+                ii=gate.issue_blocks,
+                latency=gate.issue_blocks + timing.depth_cycles,
+                n_pcus=n_dot_pcus,
+                n_pmus=2 * n_dot_pcus,
+                coord=dot_coord,
+            )
+        )
+        load_route = max(
+            chip.layout.route_cycles(anchor, p, chip.hop_latency) for p in dot_pcus
+        )
+        graph.connect("load_x", dot.name, load_route)
+
+        # Cross-PCU tree + bias + LUT.
+        accum_pcus_needed = max(1, math.ceil(max(gate.ru - 1, 1) / chip.pcu.stages))
+        accum_pcu = placer.take_pcus(accum_pcus_needed * hu, dot_coord)
+        placer.take_pmus(hu, accum_pcu[0])  # per-replica LUT tables
+        replica0 = dot_pcus[:n_dot_pcus]
+        tree = _tree_latency(replica0, chip) if gate.ru > 1 else 0
+        lut_access = 2  # PMU read: address + data
+        accum = graph.add_stage(
+            Stage(
+                f"accum_{gate.name}",
+                ii=1,
+                latency=tree + 1 + lut_access,  # tree + bias add + LUT
+                n_pcus=accum_pcus_needed,
+                n_pmus=1,
+                coord=accum_pcu[0],
+            )
+        )
+        accum_coords.append(accum_pcu[0])
+        dot_to_accum = max(
+            chip.layout.route_cycles(p, accum_pcu[0], chip.hop_latency)
+            for p in replica0
+        )
+        graph.connect(dot.name, accum.name, dot_to_accum)
+
+    # ---- element-wise fusion stage ----
+    # Ops at cell level, minus what the accumulate stages already did
+    # (per gate: one bias/part-join add chain and one LUT).  Counter
+    # address arithmetic is approximated into the chain (one extra op).
+    cell_ops = {kind: cell.op_count(kind) for kind in OpKind}
+    gate_adds = sum(len(g.reduces) for g in gates)  # part joins + bias adds
+    ew_ops = max(
+        1,
+        sum(cell_ops.get(k, 0) for k in (OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.NEG))
+        - gate_adds
+        + (cell_ops.get(OpKind.LUT, 0) - len(gates)),  # extra LUTs (tanh(c))
+    )
+    ew_pcus_needed = max(1, math.ceil(ew_ops / chip.pcu.stages))
+    ew_anchor = _centroid(accum_coords)
+    ew_pcus = placer.take_pcus(ew_pcus_needed * hu, ew_anchor)
+    extra_luts = max(0, cell_ops.get(OpKind.LUT, 0) - len(gates))
+    # State memory (c for LSTM / h for GRU) + any extra LUT tables.
+    ew_n_pmus = 1 + (1 if extra_luts else 0)
+    placer.take_pmus(ew_n_pmus * hu, ew_pcus[0])
+    ew = graph.add_stage(
+        Stage(
+            "ew",
+            ii=1,
+            latency=ew_ops + (ew_pcus_needed - 1) * 2 * chip.hop_latency,
+            n_pcus=ew_pcus_needed,
+            n_pmus=ew_n_pmus,
+            coord=ew_pcus[0],
+        )
+    )
+    for gate, coord in zip(gates, accum_coords):
+        graph.connect(
+            f"accum_{gate.name}",
+            "ew",
+            chip.layout.route_cycles(coord, ew_pcus[0], chip.hop_latency),
+        )
+
+    # ---- state writeback: broadcast h element to every [x,h] copy ----
+    broadcast = max(
+        chip.layout.route_cycles(ew_pcus[0], pmu, chip.hop_latency)
+        for pmu in state_pmu_coords
+    )
+    graph.add_stage(Stage("writeback", ii=1, latency=broadcast + 1, coord=ew_pcus[0]))
+    graph.connect("ew", "writeback", 0)
+
+    weight_bytes, state_bytes, lut_bytes = _memory_footprint(prog)
+    # The [x,h] vector is replicated per dot PCU for bandwidth.
+    xh_copies = graph.replicas * len(state_pmu_coords)
+    notes = []
+    if xh_copies:
+        state_bytes = state_bytes * (1 + xh_copies)
+        notes.append(f"[x,h] replicated {xh_copies}x for dot-PCU bandwidth")
+    resources = resource_report(
+        graph,
+        chip,
+        weight_bytes=weight_bytes,
+        state_bytes=state_bytes,
+        lut_bytes=lut_bytes,
+        notes=tuple(notes),
+    )
+    return MappedDesign(
+        program_name=prog.name,
+        chip=chip,
+        graph=graph,
+        resources=resources,
+        gates=gates,
+        hu=hu,
+        n_iterations=n_iter,
+        steps=steps_loop.extent,
+        bits=bits,
+    )

@@ -1,0 +1,71 @@
+"""ASCII visualization of a mapped design's placement.
+
+Renders the chip grid with each unit's role in the mapped pipeline —
+the textual analogue of the paper's Figure 7 annotated with an actual
+design.  Legend:
+
+* ``D`` — dot-product (map-reduce) PCU, ``A`` — accumulate/LUT PCU,
+  ``E`` — element-wise chain PCU, ``.`` — idle PCU;
+* ``w`` — weight PMU, ``x`` — ``[x,h]``-copy PMU, ``l`` — LUT PMU,
+  ``,`` — idle PMU.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.mapper import MappedDesign, _Placer
+from repro.plasticine.network import Coord
+
+__all__ = ["placement_map"]
+
+
+def placement_map(design: MappedDesign, max_rows: int | None = None) -> str:
+    """Render the design's placement as an ASCII grid.
+
+    Re-runs the mapper's deterministic placement to recover coordinates
+    (the mapper stores only representative stage coordinates).
+    """
+    chip = design.chip
+    layout = chip.layout
+    grid: dict[Coord, str] = {}
+    for c in layout.pcus:
+        grid[c] = "."
+    for c in layout.pmus:
+        grid[c] = ","
+
+    placer = _Placer(chip)
+    anchor: Coord = (layout.rows // 2, 0)
+    hu = design.hu
+    for gate in design.gates:
+        pcu_rv = chip.dot_lanes_per_pcu(design.bits)
+        per_unit = max(1, -(-gate.rv // pcu_rv))
+        n_dot = gate.ru * per_unit
+        for c in placer.take_pcus(n_dot * hu, anchor):
+            grid[c] = "D"
+        dots_anchor = next(c for c, v in grid.items() if v == "D")
+        for c in placer.take_pmus(n_dot * hu, dots_anchor):
+            grid[c] = "w"
+        for c in placer.take_pmus(n_dot * hu, dots_anchor):
+            grid[c] = "x"
+        accum_needed = max(1, -(-max(gate.ru - 1, 1) // chip.pcu.stages))
+        for c in placer.take_pcus(accum_needed * hu, dots_anchor):
+            grid[c] = "A"
+        for c in placer.take_pmus(hu, dots_anchor):
+            grid[c] = "l"
+    ew_stage = design.graph.stages["ew"]
+    for c in placer.take_pcus(ew_stage.n_pcus * hu, ew_stage.coord or anchor):
+        grid[c] = "E"
+    for c in placer.take_pmus(ew_stage.n_pmus * hu, ew_stage.coord or anchor):
+        grid[c] = "l"
+
+    rows = layout.rows if max_rows is None else min(layout.rows, max_rows)
+    lines = [
+        f"{design.program_name} on {chip.name} "
+        f"(hu={design.hu}, ru={design.ru}, rv={design.rv})",
+        "legend: D dot PCU, A accum PCU, E ew PCU, . idle PCU | "
+        "w weight PMU, x [x,h] PMU, l LUT/state PMU, , idle PMU",
+    ]
+    for r in range(rows):
+        lines.append(" ".join(grid.get((r, c), " ") for c in range(layout.cols)))
+    if rows < layout.rows:
+        lines.append(f"... ({layout.rows - rows} more rows)")
+    return "\n".join(lines)

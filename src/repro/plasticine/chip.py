@@ -1,0 +1,138 @@
+"""Whole-chip Plasticine configurations (paper Tables 3 and 4).
+
+Two presets:
+
+* :meth:`PlasticineConfig.rnn_serving` — the paper's variant (Table 3):
+  24x24 grid, 192 PCUs / 384 PMUs (2:1), 16 lanes, 4 stages, 84 kB PMUs,
+  1 GHz.  Its derived specs must match Table 4: 31.5 MB on-chip, ~49
+  peak 8-bit TFLOPS, ~12.5 peak 32-bit TFLOPS.
+* :meth:`PlasticineConfig.isca2017` — the original ISCA'17 chip for
+  comparison (checkerboard, 6-stage PCUs, 256 kB PMUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.plasticine.network import GridLayout
+from repro.plasticine.pcu import PCUConfig
+from repro.plasticine.pmu import PMUConfig
+
+__all__ = ["PlasticineConfig"]
+
+
+@dataclass(frozen=True)
+class PlasticineConfig:
+    """A complete chip: grid layout + unit configs + clock."""
+
+    name: str
+    layout: GridLayout
+    pcu: PCUConfig
+    pmu: PMUConfig
+    clock_ghz: float = 1.0
+    hop_latency: int = 1
+    #: Control/scheduling PCUs reserved by the outer controllers (the
+    #: Sequential time-step controller and the H-loop counter chain);
+    #: unavailable to the mapped datapath.
+    reserved_pcus: int = 2
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.hop_latency < 1:
+            raise ConfigError("hop latency must be >= 1 cycle")
+        if self.reserved_pcus < 0 or self.reserved_pcus >= self.layout.n_pcu:
+            raise ConfigError("reserved_pcus out of range")
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def rnn_serving(cls) -> "PlasticineConfig":
+        """Table 3: the RNN-serving variant used in the evaluation."""
+        return cls(
+            name="plasticine-rnn",
+            layout=GridLayout.rnn_variant(24, 24),
+            pcu=PCUConfig(lanes=16, stages=4, fused_low_precision=True, folded_reduction=True),
+            pmu=PMUConfig(capacity_bytes=84 * 1024, banks=16),
+            clock_ghz=1.0,
+        )
+
+    @classmethod
+    def isca2017(cls) -> "PlasticineConfig":
+        """The original Plasticine (checkerboard 1:1, 6 stages, 256 kB)."""
+        return cls(
+            name="plasticine-isca17",
+            layout=GridLayout.checkerboard(16, 8),
+            pcu=PCUConfig(lanes=16, stages=6, fused_low_precision=False, folded_reduction=False),
+            pmu=PMUConfig(capacity_bytes=256 * 1024, banks=16),
+            clock_ghz=1.0,
+        )
+
+    # -- derived specs -------------------------------------------------------
+
+    @property
+    def n_pcu(self) -> int:
+        return self.layout.n_pcu
+
+    @property
+    def n_pmu(self) -> int:
+        return self.layout.n_pmu
+
+    @property
+    def usable_pcus(self) -> int:
+        return self.n_pcu - self.reserved_pcus
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total scratchpad capacity (Table 4's "on-chip memory")."""
+        return self.n_pmu * self.pmu.capacity_bytes
+
+    @property
+    def onchip_mb(self) -> float:
+        return self.onchip_bytes / 2**20
+
+    def peak_ops_per_cycle(self, bits: int) -> int:
+        """Peak FU operations per cycle at a precision.
+
+        Counts every FU slot (lanes x stages) times the packing factor —
+        the accounting under which Table 4 reports 49 TFLOPS for 8-bit
+        (192 x 16 x 4 x 4 ~ 49k ops/cycle at 1 GHz).
+        """
+        return self.n_pcu * self.pcu.lanes * self.pcu.stages * self.pcu.packing(bits)
+
+    def peak_tflops(self, bits: int) -> float:
+        return self.peak_ops_per_cycle(bits) * self.clock_ghz * 1e9 / 1e12
+
+    def dot_lanes_per_pcu(self, bits: int) -> int:
+        """Weight elements one PCU's map-reduce consumes per cycle — the
+        per-PCU contribution to ``rv`` (64 at 8-bit: 16 lanes x 4 packed)."""
+        return self.pcu.values_per_cycle(bits)
+
+    def compute_to_memory_read_ratio(self, bits: int = 32) -> float:
+        """FU ops per scratchpad word read per cycle (Section 4.2).
+
+        The original checkerboard gives 6:1 (6-stage PCUs, 16-bank PMUs,
+        1:1 ratio), starving RNN MVMs; the variant gives
+        (4 x 16) / (2 x 16) = 2:1, matching the 2N^2 compute / N^2 read
+        structure of an RNN cell.
+        """
+        ops = self.pcu.lanes * self.pcu.stages * self.n_pcu
+        reads = self.pmu.banks * self.n_pmu
+        return ops / reads
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Table 3-style summary."""
+        return {
+            "name": self.name,
+            "grid": f"{self.layout.rows}x{self.layout.cols}",
+            "n_pcu": self.n_pcu,
+            "n_pmu": self.n_pmu,
+            "lanes": self.pcu.lanes,
+            "stages": self.pcu.stages,
+            "pmu_capacity_kb": self.pmu.capacity_bytes // 1024,
+            "onchip_mb": round(self.onchip_mb, 2),
+            "clock_ghz": self.clock_ghz,
+            "peak_tflops_8bit": round(self.peak_tflops(8), 1),
+            "peak_tflops_32bit": round(self.peak_tflops(32), 1),
+        }

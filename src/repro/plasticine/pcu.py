@@ -1,0 +1,155 @@
+"""Pattern Compute Unit: SIMD pipeline with reduction networks (Figure 6).
+
+A PCU is a ``lanes``-wide, ``stages``-deep SIMD pipeline.  Pipeline
+registers propagate live values between stages; a cross-lane network
+performs reductions.  This module captures the timing and FU-utilization
+consequences of the paper's micro-architectural changes:
+
+* **Low-precision map-reduce** — with the fused opcodes (Figure 6d), the
+  in-lane portion takes 2 stages + the existing 32-bit add; with the
+  original opcodes (Figure 6b) it takes 5 stages.
+* **Folded reduction tree** (Figure 6c) — the cross-lane tree collapses
+  into a single pipeline stage (later tree levels scheduled onto earlier
+  stage slots), keeping the full reduction+accumulation pipelined in
+  ``log2(lanes) + 1`` cycles with no structural hazard.
+
+The headline law this module must reproduce (end of Section 4.1): a PCU
+performs a map-reduce accumulating ``4 * lanes`` 8-bit values using 4
+stages, completing in ``2 + log2(lanes) + 1`` cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.plasticine.isa import Opcode, low_precision_map_reduce_schedule
+
+__all__ = ["PCUConfig", "MapReduceTiming"]
+
+
+@dataclass(frozen=True)
+class PCUConfig:
+    """Static configuration of a PCU.
+
+    Attributes:
+        lanes: SIMD width (16 in both chip configurations).
+        stages: Pipeline depth (6 original, 4 in the RNN variant).
+        regs_per_stage: Pipeline registers available per lane per stage.
+        fused_low_precision: Figure 6(d) fused opcodes available.
+        folded_reduction: Figure 6(c) folded tree available.
+    """
+
+    lanes: int = 16
+    stages: int = 4
+    regs_per_stage: int = 6
+    fused_low_precision: bool = True
+    folded_reduction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lanes < 2 or self.lanes & (self.lanes - 1):
+            raise ConfigError(f"lanes must be a power of two >= 2, got {self.lanes}")
+        if self.stages < 1:
+            raise ConfigError(f"stages must be >= 1, got {self.stages}")
+        if self.regs_per_stage < 2:
+            raise ConfigError("need at least 2 pipeline registers per stage")
+
+    # -- packing ----------------------------------------------------------
+
+    def packing(self, bits: int) -> int:
+        """Scalar values per 32-bit FU word at the given precision."""
+        if bits not in (8, 16, 32):
+            raise ConfigError(f"unsupported precision: {bits}-bit")
+        return 32 // bits
+
+    def values_per_cycle(self, bits: int) -> int:
+        """Map throughput: elements consumed per cycle at full rate."""
+        return self.lanes * self.packing(bits)
+
+    # -- reduction network -------------------------------------------------
+
+    def tree_levels(self) -> int:
+        return int(math.log2(self.lanes))
+
+    def reduction_cycles(self) -> int:
+        """Cross-lane reduction + accumulation latency in cycles.
+
+        Both the original pipelined tree and the folded tree take
+        ``log2(lanes) + 1`` cycles; folding changes *stage usage*, not
+        latency ("the entire reduction plus accumulation is still fully
+        pipelined in log2(#LANE)+1 cycles with no structural hazard").
+        """
+        return self.tree_levels() + 1
+
+    def reduction_stages_used(self) -> int:
+        """Pipeline stages occupied by the reduction + accumulation."""
+        if self.folded_reduction:
+            return 1
+        return self.tree_levels() + 1
+
+    def reduction_fu_utilization(self) -> float:
+        """Fraction of FU slots doing useful adds during the reduction.
+
+        The tree performs ``lanes - 1`` adds plus 1 accumulate.  Unfolded,
+        those occupy ``log2(lanes) + 1`` stages of ``lanes`` FUs each;
+        folded, a single stage of ``lanes`` FUs re-used across
+        ``log2(lanes) + 1`` cycles — the motivation for Figure 6(c).
+        """
+        useful = self.lanes  # (lanes - 1) tree adds + 1 accumulation
+        total = self.lanes * self.reduction_stages_used()
+        return useful / total
+
+    # -- map-reduce timing --------------------------------------------------
+
+    def map_stages(self, bits: int) -> int:
+        """Pipeline stages used by the in-lane map + packing-split chain."""
+        if bits == 32:
+            return 1  # a single full-precision multiply stage
+        schedule = low_precision_map_reduce_schedule(self.fused_low_precision)
+        if bits == 16:
+            # Skip the 8-bit front end: multiply packed 16-bit, split, add.
+            return len(schedule) - 1
+        return len(schedule)
+
+    def map_reduce_timing(self, bits: int) -> "MapReduceTiming":
+        """Timing of one full map-reduce over ``lanes * packing`` values."""
+        map_stage_count = self.map_stages(bits)
+        stages_used = map_stage_count + self.reduction_stages_used()
+        if stages_used > self.stages:
+            raise ConfigError(
+                f"map-reduce needs {stages_used} stages but the PCU has "
+                f"{self.stages}; enable fused/folded modes or add stages"
+            )
+        # The in-lane 32-bit add in the low-precision schedule overlaps the
+        # first tree level conceptually; we count the published law:
+        # fused: 2 (map) + log2(lanes) + 1.
+        if bits == 32:
+            depth = 1 + self.reduction_cycles()
+        else:
+            depth = (map_stage_count - 1) + self.reduction_cycles()
+        return MapReduceTiming(
+            elements_per_cycle=self.values_per_cycle(bits),
+            stages_used=stages_used,
+            depth_cycles=depth,
+            initiation_interval=1,
+        )
+
+
+@dataclass(frozen=True)
+class MapReduceTiming:
+    """Result of :meth:`PCUConfig.map_reduce_timing`.
+
+    Attributes:
+        elements_per_cycle: Input elements consumed per cycle (= rv of a
+            single PCU at this precision).
+        stages_used: Physical pipeline stages occupied.
+        depth_cycles: Latency from first input to accumulated output.
+        initiation_interval: Cycles between successive vector inputs (1:
+            the pipeline is fully pipelined).
+    """
+
+    elements_per_cycle: int
+    stages_used: int
+    depth_cycles: int
+    initiation_interval: int

@@ -1,0 +1,133 @@
+"""Cycle-level simulation of placed pipeline graphs.
+
+The simulator propagates per-iteration timing through the pipeline DAG:
+iteration ``i`` enters stage ``s`` when (a) all of its producers have
+emitted it and routed it over, and (b) the stage has recovered from
+iteration ``i-1`` (its initiation interval).  Exit is entry plus the
+stage latency.  The per-stage recurrence
+
+    entry[i] = max(ready[i], entry[i-1] + II)
+
+is solved in closed form with a cumulative maximum
+(``entry = II*i + cummax(ready - II*i)``), so simulating thousands of
+iterations costs a few numpy passes per stage — cycle-level fidelity at
+vectorized speed.
+
+Sequential time steps (the ``h_t`` feedback) cannot overlap, so the run
+time is ``steps * (step_cycles + step_overhead)``.  The simulator also
+produces per-stage busy counts, which feed the activity-based power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mapping.pipeline import PipelineGraph
+
+__all__ = ["SimulationResult", "StageActivity", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class StageActivity:
+    """Busy accounting for one stage across one step."""
+
+    name: str
+    busy_cycles: int
+    entry_first: int
+    exit_last: int
+
+    def occupancy(self, step_cycles: int) -> float:
+        """Fraction of the step this stage spent processing iterations."""
+        if step_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / step_cycles)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Output of :func:`simulate_pipeline`."""
+
+    name: str
+    steps: int
+    cycles_per_step: int
+    step_overhead: int
+    total_cycles: int
+    activities: dict[str, StageActivity] = field(repr=False)
+
+    def latency_seconds(self, clock_ghz: float) -> float:
+        return self.total_cycles / (clock_ghz * 1e9)
+
+    def latency_ms(self, clock_ghz: float) -> float:
+        return self.latency_seconds(clock_ghz) * 1e3
+
+    def busy_unit_cycles(self, graph: PipelineGraph, kind: str) -> float:
+        """Total busy unit-cycles per step for ``kind`` ("pcu"/"pmu").
+
+        Every replica of a stage runs the same schedule, so a stage's
+        contribution is ``replicas * units * busy_cycles``.
+        """
+        total = 0.0
+        for name, act in self.activities.items():
+            stage = graph.stages[name]
+            units = stage.n_pcus if kind == "pcu" else stage.n_pmus
+            total += graph.replicas * units * act.busy_cycles
+        return total
+
+    def average_busy_units(self, graph: PipelineGraph, kind: str) -> float:
+        """Average busy units per cycle across the whole run (for power)."""
+        per_step = self.cycles_per_step + self.step_overhead
+        if per_step <= 0:
+            return 0.0
+        return self.busy_unit_cycles(graph, kind) / per_step
+
+
+def _entry_times(ready: np.ndarray, ii: int) -> np.ndarray:
+    """Solve ``entry[i] = max(ready[i], entry[i-1] + ii)`` vectorized."""
+    ramp = ii * np.arange(ready.size, dtype=np.int64)
+    return ramp + np.maximum.accumulate(ready - ramp)
+
+
+def simulate_pipeline(graph: PipelineGraph) -> SimulationResult:
+    """Run the cycle-level timing simulation of one pipeline graph."""
+    n = graph.n_iterations
+    if n < 1:
+        raise SimulationError(f"pipeline {graph.name!r} has no iterations")
+    if graph.steps < 1:
+        raise SimulationError(f"pipeline {graph.name!r} has no time steps")
+
+    order = graph.topological_order()
+    exits: dict[str, np.ndarray] = {}
+    activities: dict[str, StageActivity] = {}
+
+    for name in order:
+        stage = graph.stages[name]
+        preds = graph.predecessors(name)
+        if preds:
+            ready = np.zeros(n, dtype=np.int64)
+            for src, route in preds:
+                np.maximum(ready, exits[src] + route, out=ready)
+        else:
+            ready = np.zeros(n, dtype=np.int64)
+        entry = _entry_times(ready, stage.ii)
+        exit_t = entry + stage.latency
+        exits[name] = exit_t
+        activities[name] = StageActivity(
+            name=name,
+            busy_cycles=int(n * stage.ii),
+            entry_first=int(entry[0]),
+            exit_last=int(exit_t[-1]),
+        )
+
+    step_cycles = max(int(exits[name][-1]) for name in order)
+    total = graph.steps * (step_cycles + graph.step_overhead)
+    return SimulationResult(
+        name=graph.name,
+        steps=graph.steps,
+        cycles_per_step=step_cycles,
+        step_overhead=graph.step_overhead,
+        total_cycles=total,
+        activities=activities,
+    )

@@ -1,0 +1,119 @@
+"""Packed low-precision struct types (paper Section 4.1).
+
+The paper adds two struct types to Spatial: ``4-float8`` (four 8-bit
+floats in one 32-bit word) and ``2-float16`` (two 16-bit floats in one
+32-bit word).  "Users can only access values that are 32-bit aligned",
+which keeps PMU banking and DRAM granularity unchanged — only the PCU
+datapath is aware of the packing.
+
+:class:`PackedArray` stores a float vector as a ``uint32`` word array and
+exposes both the packed view (for storage accounting and bank modelling)
+and the decoded float view (for functional simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PrecisionError
+from repro.precision.formats import FP8, FP16, FloatFormat
+from repro.precision.quantize import decode_bits, encode_bits
+
+__all__ = ["PackedFormat", "PackedArray", "PACKED_4xFP8", "PACKED_2xFP16"]
+
+
+@dataclass(frozen=True)
+class PackedFormat:
+    """A fixed number of identical scalars packed into one 32-bit word."""
+
+    name: str
+    element: FloatFormat
+    elements_per_word: int
+
+    def __post_init__(self) -> None:
+        if self.element.total_bits * self.elements_per_word != 32:
+            raise PrecisionError(
+                f"{self.name}: {self.elements_per_word} x "
+                f"{self.element.total_bits}-bit elements do not fill a 32-bit word"
+            )
+
+    @property
+    def element_bits(self) -> int:
+        return self.element.total_bits
+
+    def words_for(self, n_values: int) -> int:
+        """Number of 32-bit words needed for ``n_values`` scalars."""
+        if n_values < 0:
+            raise PrecisionError(f"n_values must be >= 0, got {n_values}")
+        return -(-n_values // self.elements_per_word)
+
+    def storage_bytes(self, n_values: int) -> int:
+        return 4 * self.words_for(n_values)
+
+
+#: The paper's ``4-float8`` struct type.
+PACKED_4xFP8 = PackedFormat("4-float8", FP8, 4)
+
+#: The paper's ``2-float16`` struct type.
+PACKED_2xFP16 = PackedFormat("2-float16", FP16, 2)
+
+
+class PackedArray:
+    """A 1-D float vector stored as packed 32-bit words.
+
+    The tail of the final word is zero-padded; ``len()`` reports the
+    logical (unpadded) element count.
+    """
+
+    def __init__(self, words: np.ndarray, length: int, fmt: PackedFormat):
+        words = np.asarray(words, dtype=np.uint32)
+        if words.ndim != 1:
+            raise PrecisionError("packed words must be a 1-D array")
+        if fmt.words_for(length) != words.size:
+            raise PrecisionError(
+                f"{length} values need {fmt.words_for(length)} words, got {words.size}"
+            )
+        self.words = words
+        self.length = length
+        self.fmt = fmt
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def storage_bytes(self) -> int:
+        return 4 * self.words.size
+
+    @classmethod
+    def pack(cls, values: np.ndarray, fmt: PackedFormat) -> "PackedArray":
+        """Quantize and pack a float vector into 32-bit words."""
+        v = np.asarray(values, dtype=np.float64).ravel()
+        k = fmt.elements_per_word
+        bits = encode_bits(v, fmt.element).astype(np.uint32)
+        padded = np.zeros(fmt.words_for(v.size) * k, dtype=np.uint32)
+        padded[: v.size] = bits
+        lanes = padded.reshape(-1, k)
+        shift = fmt.element_bits
+        words = np.zeros(lanes.shape[0], dtype=np.uint32)
+        for i in range(k):
+            words |= lanes[:, i] << np.uint32(i * shift)
+        return cls(words, v.size, fmt)
+
+    def unpack(self) -> np.ndarray:
+        """Decode back to a float64 vector of the logical length."""
+        k = self.fmt.elements_per_word
+        shift = self.fmt.element_bits
+        mask = np.uint32((1 << shift) - 1)
+        lanes = np.empty((self.words.size, k), dtype=np.uint32)
+        for i in range(k):
+            lanes[:, i] = (self.words >> np.uint32(i * shift)) & mask
+        flat = decode_bits(lanes.ravel(), self.fmt.element)
+        return flat[: self.length]
+
+    def word(self, index: int) -> int:
+        """Raw 32-bit word at ``index`` (the only legal access granularity)."""
+        if not 0 <= index < self.words.size:
+            raise PrecisionError(f"word index {index} out of range 0..{self.words.size - 1}")
+        return int(self.words[index])

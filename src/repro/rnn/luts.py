@@ -1,0 +1,51 @@
+"""Lookup-table non-linearities (Figure 5's ``luti``/``lutj``/``tanh``).
+
+The paper evaluates gate non-linearities through on-chip lookup tables fed
+by the dot-product result.  This module centralizes the table
+configuration and its worst-case error bound so tests and accuracy studies
+agree on tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rnn.reference import sigmoid
+
+__all__ = [
+    "DEFAULT_LUT_RANGE",
+    "DEFAULT_LUT_ENTRIES",
+    "lut_error_bound",
+    "sigmoid",
+    "tanh",
+]
+
+#: Input clamp range for sigmoid/tanh tables.  Outside ±8 both functions
+#: are within 3.4e-4 of their asymptotes.
+DEFAULT_LUT_RANGE: tuple[float, float] = (-8.0, 8.0)
+
+#: Table entries per function; 8192 entries over [-8, 8] give a nearest-
+#: entry error below 5e-4 for sigmoid/tanh (both have |f'| <= 1).
+DEFAULT_LUT_ENTRIES: int = 8192
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (numpy's, wrapped for symmetry with sigmoid)."""
+    return np.tanh(np.asarray(x, dtype=np.float64))
+
+
+def lut_error_bound(
+    max_abs_derivative: float,
+    lo: float = DEFAULT_LUT_RANGE[0],
+    hi: float = DEFAULT_LUT_RANGE[1],
+    entries: int = DEFAULT_LUT_ENTRIES,
+    tail_error: float = 3.4e-4,
+) -> float:
+    """Worst-case absolute error of a nearest-entry LUT.
+
+    In-range error is half a grid step times the max slope; out-of-range
+    inputs clamp, adding the function's distance to its asymptote
+    (``tail_error``).
+    """
+    step = (hi - lo) / (entries - 1)
+    return 0.5 * step * max_abs_derivative + tail_error

@@ -1,0 +1,159 @@
+"""RNN tensor shapes and weight containers (paper Table 1).
+
+The paper concatenates each gate's input and hidden weight matrices into
+``[Wx, Wh]`` of shape ``(H, R)`` with ``R = D + H``, so a gate's
+pre-activation is one dot product against the concatenated ``[x, h]``
+vector.  The containers here store that layout directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["RNNShape", "LSTMWeights", "GRUWeights", "LSTM_GATES", "GRU_GATES"]
+
+#: LSTM gate order: input, candidate (j), forget, output — Equations 1-4.
+LSTM_GATES = ("i", "j", "f", "o")
+
+#: GRU gate order: update (z), reset (r), candidate (c).
+GRU_GATES = ("z", "r", "c")
+
+
+@dataclass(frozen=True)
+class RNNShape:
+    """Dimensions of one RNN cell instance.
+
+    Attributes:
+        kind: ``"lstm"`` or ``"gru"``.
+        hidden: Hidden-state dimension ``H``.
+        input_dim: Input feature dimension ``D`` (DeepBench uses ``D = H``).
+    """
+
+    kind: str
+    hidden: int
+    input_dim: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lstm", "gru"):
+            raise ConfigError(f"unknown RNN kind {self.kind!r}")
+        if self.hidden <= 0 or self.input_dim <= 0:
+            raise ConfigError(
+                f"dimensions must be positive: H={self.hidden}, D={self.input_dim}"
+            )
+
+    @property
+    def gates(self) -> int:
+        """Number of gates ``G`` (paper Table 2: LSTM G=4, GRU G=3)."""
+        return 4 if self.kind == "lstm" else 3
+
+    @property
+    def concat_dim(self) -> int:
+        """``R = D + H``, the reduction dimension of every gate MVM."""
+        return self.hidden + self.input_dim
+
+    @property
+    def weight_count(self) -> int:
+        """Total weight elements ``G * H * R`` (biases excluded)."""
+        return self.gates * self.hidden * self.concat_dim
+
+    @property
+    def gate_names(self) -> tuple[str, ...]:
+        return LSTM_GATES if self.kind == "lstm" else GRU_GATES
+
+    def mvm_flops_per_step(self) -> int:
+        """MVM FLOPs per time step, the paper's effective-FLOPS numerator
+        (``2 * G * H * R``: one multiply + one add per weight)."""
+        return 2 * self.weight_count
+
+
+def _check_gate_arrays(
+    shape: RNNShape, w: dict[str, np.ndarray], b: dict[str, np.ndarray]
+) -> None:
+    expected = set(shape.gate_names)
+    if set(w) != expected or set(b) != expected:
+        raise ConfigError(
+            f"gate dict keys {sorted(w)}/{sorted(b)} do not match {sorted(expected)}"
+        )
+    for g in shape.gate_names:
+        if w[g].shape != (shape.hidden, shape.concat_dim):
+            raise ConfigError(
+                f"W[{g}] has shape {w[g].shape}, expected "
+                f"({shape.hidden}, {shape.concat_dim})"
+            )
+        if b[g].shape != (shape.hidden,):
+            raise ConfigError(f"b[{g}] has shape {b[g].shape}, expected ({shape.hidden},)")
+
+
+@dataclass
+class LSTMWeights:
+    """Concatenated-layout LSTM parameters.
+
+    ``w[g][ih, :input_dim]`` is the input weight row, ``w[g][ih, input_dim:]``
+    the hidden weight row for output element ``ih`` of gate ``g``.
+    """
+
+    shape: RNNShape
+    w: dict[str, np.ndarray] = field(repr=False)
+    b: dict[str, np.ndarray] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shape.kind != "lstm":
+            raise ConfigError(f"LSTMWeights requires an lstm shape, got {self.shape.kind}")
+        _check_gate_arrays(self.shape, self.w, self.b)
+
+    @classmethod
+    def random(
+        cls, shape: RNNShape, rng: np.random.Generator | int = 0, scale: float | None = None
+    ) -> "LSTMWeights":
+        """Uniform ``[-scale, scale]`` init, default ``1/sqrt(R)`` — keeps
+        pre-activations in the LUT range for any H."""
+        if isinstance(rng, int):
+            rng = np.random.default_rng(rng)
+        if scale is None:
+            scale = 1.0 / np.sqrt(shape.concat_dim)
+        w = {
+            g: rng.uniform(-scale, scale, size=(shape.hidden, shape.concat_dim))
+            for g in shape.gate_names
+        }
+        b = {g: rng.uniform(-scale, scale, size=shape.hidden) for g in shape.gate_names}
+        return cls(shape=shape, w=w, b=b)
+
+
+@dataclass
+class GRUWeights:
+    """Concatenated-layout GRU parameters.
+
+    The candidate gate ``c`` follows the cuDNN/DeepBench
+    ``linear_before_reset`` formulation: its hidden-part dot product is
+    computed first and scaled by the reset gate *after* the reduction
+    (``tanh(Wcx·x + r ∘ (Wch·h) + bc)``), which is what lets the paper's
+    loop-based GRU compute all three gates in a single fused pass.
+    """
+
+    shape: RNNShape
+    w: dict[str, np.ndarray] = field(repr=False)
+    b: dict[str, np.ndarray] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shape.kind != "gru":
+            raise ConfigError(f"GRUWeights requires a gru shape, got {self.shape.kind}")
+        _check_gate_arrays(self.shape, self.w, self.b)
+
+    @classmethod
+    def random(
+        cls, shape: RNNShape, rng: np.random.Generator | int = 0, scale: float | None = None
+    ) -> "GRUWeights":
+        if isinstance(rng, int):
+            rng = np.random.default_rng(rng)
+        if scale is None:
+            scale = 1.0 / np.sqrt(shape.concat_dim)
+        w = {
+            g: rng.uniform(-scale, scale, size=(shape.hidden, shape.concat_dim))
+            for g in shape.gate_names
+        }
+        b = {g: rng.uniform(-scale, scale, size=shape.hidden) for g in shape.gate_names}
+        return cls(shape=shape, w=w, b=b)

@@ -1,0 +1,134 @@
+"""Golden numpy LSTM/GRU implementations (paper Equations 1-6).
+
+These are the functional oracles every other implementation is tested
+against.  The non-linearities are injectable so a reference run can share
+the exact LUT numerics of a DSL execution (for bit-exact comparison) or
+use true ``sigmoid``/``tanh`` (for accuracy studies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.rnn.params import GRUWeights, LSTMWeights
+
+__all__ = ["sigmoid", "lstm_step", "lstm_sequence", "gru_step", "gru_sequence"]
+
+Nonlin = Callable[[np.ndarray], np.ndarray]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _concat_xh(x: np.ndarray, h: np.ndarray, weights) -> np.ndarray:
+    shape = weights.shape
+    if x.shape != (shape.input_dim,):
+        raise ConfigError(f"x has shape {x.shape}, expected ({shape.input_dim},)")
+    if h.shape != (shape.hidden,):
+        raise ConfigError(f"h has shape {h.shape}, expected ({shape.hidden},)")
+    return np.concatenate([x, h])
+
+
+def lstm_step(
+    weights: LSTMWeights,
+    x: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    *,
+    sigma: Nonlin = sigmoid,
+    tanh: Nonlin = np.tanh,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step; returns ``(h_t, c_t)``.
+
+    Implements Equations 1-6 with the concatenated weight layout:
+    ``i = σ(W_i [x,h] + b_i)`` etc., ``c_t = f∘c + i∘j``,
+    ``h_t = o ∘ tanh(c_t)``.
+    """
+    xh = _concat_xh(np.asarray(x, float), np.asarray(h, float), weights)
+    i = sigma(weights.w["i"] @ xh + weights.b["i"])
+    j = tanh(weights.w["j"] @ xh + weights.b["j"])
+    f = sigma(weights.w["f"] @ xh + weights.b["f"])
+    o = sigma(weights.w["o"] @ xh + weights.b["o"])
+    c_new = f * np.asarray(c, float) + i * j
+    h_new = o * tanh(c_new)
+    return h_new, c_new
+
+
+def lstm_sequence(
+    weights: LSTMWeights,
+    xs: np.ndarray,
+    h0: np.ndarray | None = None,
+    c0: np.ndarray | None = None,
+    *,
+    sigma: Nonlin = sigmoid,
+    tanh: Nonlin = np.tanh,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run ``T`` steps; returns ``(ys, h_T, c_T)`` with ``ys[t] = h_{t+1}``."""
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2 or xs.shape[1] != weights.shape.input_dim:
+        raise ConfigError(
+            f"xs must be (T, {weights.shape.input_dim}), got {xs.shape}"
+        )
+    hidden = weights.shape.hidden
+    h = np.zeros(hidden) if h0 is None else np.asarray(h0, float).copy()
+    c = np.zeros(hidden) if c0 is None else np.asarray(c0, float).copy()
+    ys = np.empty((xs.shape[0], hidden))
+    for t in range(xs.shape[0]):
+        h, c = lstm_step(weights, xs[t], h, c, sigma=sigma, tanh=tanh)
+        ys[t] = h
+    return ys, h, c
+
+
+def gru_step(
+    weights: GRUWeights,
+    x: np.ndarray,
+    h: np.ndarray,
+    *,
+    sigma: Nonlin = sigmoid,
+    tanh: Nonlin = np.tanh,
+) -> np.ndarray:
+    """One GRU step (cuDNN ``linear_before_reset`` variant); returns ``h_t``.
+
+    ``z = σ(W_z [x,h] + b_z)``, ``r = σ(W_r [x,h] + b_r)``,
+    ``h̃ = tanh(W_cx x + r ∘ (W_ch h) + b_c)``,
+    ``h_t = (1 - z) ∘ h̃ + z ∘ h``.
+    """
+    x = np.asarray(x, float)
+    h = np.asarray(h, float)
+    xh = _concat_xh(x, h, weights)
+    d = weights.shape.input_dim
+    z = sigma(weights.w["z"] @ xh + weights.b["z"])
+    r = sigma(weights.w["r"] @ xh + weights.b["r"])
+    cand = tanh(weights.w["c"][:, :d] @ x + r * (weights.w["c"][:, d:] @ h) + weights.b["c"])
+    return (1.0 - z) * cand + z * h
+
+
+def gru_sequence(
+    weights: GRUWeights,
+    xs: np.ndarray,
+    h0: np.ndarray | None = None,
+    *,
+    sigma: Nonlin = sigmoid,
+    tanh: Nonlin = np.tanh,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``T`` steps; returns ``(ys, h_T)``."""
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2 or xs.shape[1] != weights.shape.input_dim:
+        raise ConfigError(f"xs must be (T, {weights.shape.input_dim}), got {xs.shape}")
+    h = np.zeros(weights.shape.hidden) if h0 is None else np.asarray(h0, float).copy()
+    ys = np.empty((xs.shape[0], weights.shape.hidden))
+    for t in range(xs.shape[0]):
+        h = gru_step(weights, xs[t], h, sigma=sigma, tanh=tanh)
+        ys[t] = h
+    return ys, h

@@ -1,0 +1,95 @@
+"""Loop-nest analysis over the trace IR.
+
+Computes, for each loop in a traced program: total trip counts, issue
+counts after unrolling, operation totals by category, and per-memory
+traffic — the quantities the mapper, the footprint analysis (Figures 1-3)
+and the utilization analysis need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spatial.ir import LoopKind, LoopRecord, OpKind
+
+__all__ = ["LoopNestInfo", "analyze"]
+
+
+@dataclass(frozen=True)
+class LoopNestInfo:
+    """Aggregate statistics of one traced program."""
+
+    root: LoopRecord
+    total_ops: dict[OpKind, int]
+    mem_reads: dict[str, int]
+    mem_writes: dict[str, int]
+    max_depth: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count ~ min(muls, adds) is wrong for RNNs;
+        we follow the paper and count every mul in a reduction as one MAC."""
+        return self.total_ops.get(OpKind.MUL, 0)
+
+    @property
+    def flops(self) -> int:
+        """Total floating-point operations (adds + muls + others + LUTs)."""
+        return sum(self.total_ops.values())
+
+    def reads_of(self, mem_name: str) -> int:
+        return self.mem_reads.get(mem_name, 0)
+
+    def writes_of(self, mem_name: str) -> int:
+        return self.mem_writes.get(mem_name, 0)
+
+
+def _repeat_factor(rec: LoopRecord) -> int:
+    """How many times a single evaluation of ``rec``'s body executes,
+    accounting for every enclosing loop's iteration count."""
+    factor = 1
+    node: LoopRecord | None = rec
+    while node is not None:
+        factor *= node.iterations
+        node = node.parent
+    return factor
+
+
+def _reduction_adds(rec: LoopRecord) -> int:
+    """Adds contributed by a Reduce construct's combine tree.
+
+    A reduction of N mapped values performs N-1 combining adds regardless
+    of tree shape.
+    """
+    if rec.kind is not LoopKind.REDUCE:
+        return 0
+    n = rec.iterations
+    parent_factor = _repeat_factor(rec.parent) if rec.parent else 1
+    return max(n - 1, 0) * parent_factor
+
+
+def analyze(root: LoopRecord) -> LoopNestInfo:
+    """Aggregate op and traffic totals over a trace tree."""
+    total_ops: dict[OpKind, int] = {}
+    mem_reads: dict[str, int] = {}
+    mem_writes: dict[str, int] = {}
+    max_depth = 0
+
+    for rec in root.walk():
+        max_depth = max(max_depth, rec.depth)
+        factor = _repeat_factor(rec)
+        for op in rec.ops:
+            total_ops[op.kind] = total_ops.get(op.kind, 0) + factor
+        tree_adds = _reduction_adds(rec)
+        if tree_adds:
+            total_ops[OpKind.ADD] = total_ops.get(OpKind.ADD, 0) + tree_adds
+        for acc in rec.accesses:
+            table = mem_writes if acc.is_write else mem_reads
+            table[acc.mem_name] = table.get(acc.mem_name, 0) + factor
+
+    return LoopNestInfo(
+        root=root,
+        total_ops=total_ops,
+        mem_reads=mem_reads,
+        mem_writes=mem_writes,
+        max_depth=max_depth,
+    )

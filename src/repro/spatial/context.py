@@ -1,0 +1,68 @@
+"""Engine context stack shared by the DSL constructs.
+
+Loop constructs and memory handles are engine-agnostic: at runtime they
+dispatch to whichever :class:`Engine` is active — the tracer when building
+IR, the executor when computing values.  The active engine is kept on a
+small stack so programs can be nested (e.g. tracing inside a test that is
+itself running a program).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.errors import DSLError
+
+_ENGINES: list["Engine"] = []
+
+
+def push_engine(engine: "Engine") -> None:
+    _ENGINES.append(engine)
+
+
+def pop_engine(engine: "Engine") -> None:
+    if not _ENGINES or _ENGINES[-1] is not engine:
+        raise DSLError("engine stack corrupted: popping an engine that is not active")
+    _ENGINES.pop()
+
+
+def current_engine() -> "Engine":
+    if not _ENGINES:
+        raise DSLError(
+            "no active engine: DSL constructs may only run inside "
+            "Program.trace() or Program.run()"
+        )
+    return _ENGINES[-1]
+
+
+class Engine(abc.ABC):
+    """Interface both the tracer and the executor implement."""
+
+    @abc.abstractmethod
+    def binop(self, kind: str, a: Any, b: Any) -> Any:
+        """Apply a binary scalar op to two DSL values."""
+
+    @abc.abstractmethod
+    def unop(self, kind: str, a: Any) -> Any:
+        """Apply a unary scalar op to a DSL value."""
+
+    @abc.abstractmethod
+    def read(self, mem: Any, idxs: tuple) -> Any:
+        """Read ``mem`` at the given index values."""
+
+    @abc.abstractmethod
+    def write(self, mem: Any, value: Any, idxs: tuple) -> None:
+        """Write ``value`` to ``mem`` at the given index values."""
+
+    @abc.abstractmethod
+    def lut_lookup(self, lut: Any, x: Any) -> Any:
+        """Apply a lookup-table non-linear function."""
+
+    @abc.abstractmethod
+    def foreach(self, rng: Any, body: Callable, *, sequential: bool, label: str) -> None:
+        """Run a Foreach loop."""
+
+    @abc.abstractmethod
+    def reduce(self, rng: Any, map_fn: Callable, *, label: str) -> Any:
+        """Run a map-reduce loop and return the reduced value."""

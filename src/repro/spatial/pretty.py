@@ -1,0 +1,69 @@
+"""Pretty-printer: renders a traced program in the shape of Figure 5."""
+
+from __future__ import annotations
+
+from repro.spatial.builder import Program
+from repro.spatial.ir import LoopKind, LoopRecord, OpKind
+
+__all__ = ["format_program", "format_loop_tree"]
+
+_KIND_NAMES = {
+    LoopKind.FOREACH: "Foreach",
+    LoopKind.REDUCE: "Reduce",
+    LoopKind.SEQUENTIAL: "Sequential.Foreach",
+}
+
+
+def _format_loop(rec: LoopRecord, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    head = _KIND_NAMES[rec.kind]
+    rng = f"{rec.extent}"
+    if rec.step != 1:
+        rng += f" by {rec.step}"
+    if rec.par != 1:
+        rng += f" par {rec.par}"
+    label = f"  // {rec.label}" if rec.label else ""
+    lines.append(f"{pad}{head}({rng}) {{{label}")
+    if rec.ops:
+        counts: dict[OpKind, int] = {}
+        for op in rec.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        mix = ", ".join(f"{k.value}x{v}" for k, v in sorted(counts.items(), key=lambda kv: kv[0].value))
+        lines.append(f"{pad}  // body ops: {mix}")
+    reads = sorted({a.mem_name for a in rec.accesses if not a.is_write})
+    writes = sorted({a.mem_name for a in rec.accesses if a.is_write})
+    if reads:
+        lines.append(f"{pad}  // reads:  {', '.join(reads)}")
+    if writes:
+        lines.append(f"{pad}  // writes: {', '.join(writes)}")
+    for child in rec.children:
+        _format_loop(child, indent + 1, lines)
+    lines.append(f"{pad}}}")
+
+
+def format_loop_tree(root: LoopRecord) -> str:
+    """Render a trace tree as indented pseudo-Spatial."""
+    lines: list[str] = []
+    for child in root.children:
+        _format_loop(child, 0, lines)
+    return "\n".join(lines)
+
+
+def format_program(prog: Program) -> str:
+    """Render a program: memory declarations then the traced loop nest."""
+    lines = [f"// Program: {prog.name}"]
+    for sram in prog.memories.srams.values():
+        dtype = sram.dtype.name if sram.dtype else "f64"
+        lines.append(f"val {sram.name} = SRAM[{dtype}]{list(sram.shape)}")
+    for reg in prog.memories.regs.values():
+        dtype = reg.dtype.name if reg.dtype else "f64"
+        lines.append(f"val {reg.name} = Reg[{dtype}]")
+    for lut in prog.memories.luts.values():
+        dtype = lut.dtype.name if lut.dtype else "f64"
+        lines.append(
+            f"val {lut.name} = LUT[{dtype}]({lut.entries}) "
+            f"// {lut.name} over [{lut.lo}, {lut.hi}]"
+        )
+    lines.append("")
+    lines.append(format_loop_tree(prog.trace()))
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Benchmark workloads (Baidu DeepBench RNN inference)."""
+
+from repro.workloads.deepbench import (
+    GRU_TASKS,
+    LSTM_TASKS,
+    RNNTask,
+    all_tasks,
+    table6_tasks,
+    task,
+)
+
+__all__ = ["RNNTask", "LSTM_TASKS", "GRU_TASKS", "all_tasks", "table6_tasks", "task"]

@@ -1,0 +1,114 @@
+"""The DeepBench RNN inference tasks evaluated in the paper (Table 6/7).
+
+Baidu DeepBench's RNN inference suite uses batch size 1 and input feature
+dimension equal to the hidden dimension.  The paper evaluates five LSTM
+and five GRU points in Table 6; Table 7 (and the Section 5.2 discussion of
+"the largest GRU") adds GRU H=2816, which we carry with a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.rnn.params import RNNShape
+
+__all__ = ["RNNTask", "LSTM_TASKS", "GRU_TASKS", "all_tasks", "table6_tasks", "task"]
+
+
+@dataclass(frozen=True)
+class RNNTask:
+    """One DeepBench serving task.
+
+    Attributes:
+        kind: ``"lstm"`` or ``"gru"``.
+        hidden: Hidden units ``H`` (input dim ``D = H`` in DeepBench).
+        timesteps: Sequence length ``T``.
+        batch: Always 1 for real-time serving.
+        in_table6: Whether the paper reports this point in Table 6.
+    """
+
+    kind: str
+    hidden: int
+    timesteps: int
+    batch: int = 1
+    in_table6: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lstm", "gru"):
+            raise WorkloadError(f"unknown RNN kind {self.kind!r}")
+        if self.hidden <= 0 or self.timesteps <= 0 or self.batch <= 0:
+            raise WorkloadError(f"invalid task dimensions: {self}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}-h{self.hidden}-t{self.timesteps}"
+
+    @property
+    def shape(self) -> RNNShape:
+        return RNNShape(self.kind, self.hidden, self.hidden)
+
+    @property
+    def flops(self) -> int:
+        """Total MVM FLOPs, the paper's effective-TFLOPS numerator:
+        ``T * 2 * G * H * R``."""
+        return self.timesteps * self.shape.mvm_flops_per_step()
+
+    def effective_tflops(self, latency_seconds: float) -> float:
+        """Effective TFLOPS at a measured latency."""
+        if latency_seconds <= 0:
+            raise WorkloadError("latency must be positive")
+        return self.flops / latency_seconds / 1e12
+
+    def weight_bytes(self, bytes_per_element: float) -> float:
+        """Weight footprint at a storage precision."""
+        return self.shape.weight_count * bytes_per_element
+
+
+#: Table 6 LSTM points: (hidden, timesteps).
+LSTM_TASKS: tuple[RNNTask, ...] = tuple(
+    RNNTask("lstm", h, t)
+    for h, t in [(256, 150), (512, 25), (1024, 25), (1536, 50), (2048, 25)]
+)
+
+#: Table 6 GRU points plus the Table 7 / Section 5.2 GRU 2816.
+GRU_TASKS: tuple[RNNTask, ...] = tuple(
+    RNNTask("gru", h, t, in_table6=in6)
+    for h, t, in6 in [
+        (512, 1, True),
+        (1024, 1500, True),
+        (1536, 375, True),
+        (2048, 375, True),
+        (2560, 375, True),
+        (2816, 750, False),
+    ]
+)
+
+
+def all_tasks() -> tuple[RNNTask, ...]:
+    """Every task in the suite (including GRU 2816)."""
+    return LSTM_TASKS + GRU_TASKS
+
+
+def table6_tasks() -> tuple[RNNTask, ...]:
+    """The ten points of Table 6."""
+    return tuple(t for t in all_tasks() if t.in_table6)
+
+
+def task(kind: str, hidden: int, timesteps: int | None = None) -> RNNTask:
+    """Look up a task by kind and hidden size (timesteps optional if the
+    suite has exactly one entry for that size)."""
+    matches = [
+        t
+        for t in all_tasks()
+        if t.kind == kind
+        and t.hidden == hidden
+        and (timesteps is None or t.timesteps == timesteps)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        if timesteps is not None:
+            return RNNTask(kind, hidden, timesteps)
+        raise WorkloadError(f"no task {kind} H={hidden} in the suite; pass timesteps")
+    raise WorkloadError(f"ambiguous task {kind} H={hidden}: specify timesteps")

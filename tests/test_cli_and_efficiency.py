@@ -1,0 +1,100 @@
+"""Tests for the CLI and the abstract-claims efficiency analysis."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    ClaimCheck,
+    abstract_claims,
+    energy_per_inference_j,
+)
+from repro.harness.cli import build_parser, main
+
+
+class TestClaimCheck:
+    def test_approx_band(self):
+        assert ClaimCheck("x", 30.0, 39.0).holds
+        assert ClaimCheck("x", 30.0, 16.0).holds
+        assert not ClaimCheck("x", 30.0, 5.0).holds
+        assert not ClaimCheck("x", 30.0, 100.0).holds
+
+    def test_at_least_direction(self):
+        assert ClaimCheck("x", 60.0, 148.0, direction="at_least").holds
+        assert ClaimCheck("x", 60.0, 31.0, direction="at_least").holds
+        assert not ClaimCheck("x", 60.0, 20.0, direction="at_least").holds
+
+    def test_energy_per_inference(self):
+        assert energy_per_inference_j(0.001, 100.0) == pytest.approx(0.1)
+
+
+class TestAbstractClaims:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return abstract_claims()
+
+    def test_every_claim_holds(self, report):
+        failing = [c.claim for c in report.checks if not c.holds]
+        assert not failing, f"claims failing the shape band: {failing}"
+
+    def test_contains_all_six_claims(self, report):
+        assert len(report.checks) == 6
+        claims = " ".join(c.claim for c in report.checks)
+        for token in ("V100", "Brainwave", "CPU", "area", "power", "energy"):
+            assert token in claims
+
+    def test_area_claim_exact(self, report):
+        area = next(c for c in report.checks if "area" in c.claim)
+        assert area.measured == pytest.approx(815 / 494.37, rel=1e-6)
+
+    def test_power_claim_from_tdp(self, report):
+        power = next(c for c in report.checks if "power" in c.claim)
+        assert power.measured == pytest.approx(300 / 160, rel=1e-6)
+
+    def test_text_rendering(self, report):
+        assert "Abstract claims" in report.text
+        assert "yes" in report.text
+        assert report.all_hold()
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        for cmd in ("table3", "table6", "figure4", "figure6", "claims", "all"):
+            args = parser.parse_args([cmd])
+            assert callable(args.fn)
+
+    def test_serve_args(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "lstm", "1024"])
+        assert args.kind == "lstm"
+        assert args.hidden == 1024
+        assert args.timesteps is None
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_main_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "192" in out and "384" in out
+
+    def test_main_figure7(self, capsys):
+        assert main(["figure7"]) == 0
+        assert "PMU PCU PMU" in capsys.readouterr().out
+
+    def test_main_figure6(self, capsys):
+        assert main(["figure6"]) == 0
+        assert "folded" in capsys.readouterr().out
+
+    def test_main_serve(self, capsys):
+        assert main(["serve", "lstm", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "plasticine" in out and "brainwave" in out
+
+    def test_main_serve_custom_timesteps(self, capsys):
+        assert main(["serve", "lstm", "333", "7"]) == 0
+        assert "lstm-h333-t7" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])

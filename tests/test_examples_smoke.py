@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end and prints sense."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "max |err| = 0.00e+00" in out
+        assert "latency" in out
+
+    def test_dse_tuning_default(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["dse_tuning.py", "lstm", "512"])
+        _load("dse_tuning").main()
+        out = capsys.readouterr().out
+        assert "DSE" in out
+        assert "best" in out
+        assert "paper choice" in out
+
+    def test_precision_study(self, capsys):
+        _load("precision_study").main()
+        out = capsys.readouterr().out
+        assert "fp8 weights" in out
+        assert "Brainwave blocked FP" in out
+        # correlations printed are all near 1
+        assert "0.999" in out
+
+    def test_serving_latency(self, capsys):
+        _load("serving_latency").main()
+        out = capsys.readouterr().out
+        assert "plasticine" in out
+        assert "saturated" in out  # the CPU cannot keep up
+
+    @pytest.mark.slow
+    def test_deepbench_sweep(self, capsys):
+        _load("deepbench_sweep").main()
+        out = capsys.readouterr().out
+        assert "geomean" in out
+        assert "Brainwave ahead on" in out

@@ -1,0 +1,191 @@
+"""Unit + property tests for blocked floating point and packed structs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrecisionError
+from repro.precision import (
+    BW_BFP,
+    BlockedFloatFormat,
+    BlockedVector,
+    PACKED_2xFP16,
+    PACKED_4xFP8,
+    PackedArray,
+)
+from repro.precision.packed import PackedFormat
+from repro.precision.formats import FP8, FloatFormat
+
+
+class TestBlockedFormat:
+    def test_bw_published_config(self):
+        assert BW_BFP.block_size == 400
+        assert BW_BFP.exponent_bits == 5
+        assert BW_BFP.mantissa_bits == 5
+
+    def test_bits_per_value_amortizes_exponent(self):
+        fmt = BlockedFloatFormat(block_size=4, exponent_bits=5, mantissa_bits=5)
+        # 1 sign + 5 mantissa + 5/4 shared exponent
+        assert fmt.bits_per_value == pytest.approx(6 + 1.25)
+
+    def test_storage_bytes_whole_blocks(self):
+        fmt = BlockedFloatFormat(block_size=4, exponent_bits=5, mantissa_bits=5)
+        # one block: 5 + 4*6 = 29 bits -> 4 bytes
+        assert fmt.storage_bytes(4) == 4
+        assert fmt.storage_bytes(5) == 8  # two blocks, 58 bits
+        assert fmt.storage_bytes(0) == 0
+
+    def test_storage_negative_rejected(self):
+        with pytest.raises(PrecisionError):
+            BW_BFP.storage_bytes(-1)
+
+    def test_validation(self):
+        with pytest.raises(PrecisionError):
+            BlockedFloatFormat(block_size=0)
+        with pytest.raises(PrecisionError):
+            BlockedFloatFormat(block_size=4, mantissa_bits=0)
+        with pytest.raises(PrecisionError):
+            BlockedFloatFormat(block_size=4, exponent_bits=1)
+
+
+class TestBlockedVector:
+    def test_roundtrip_exact_for_grid_values(self):
+        fmt = BlockedFloatFormat(block_size=4, mantissa_bits=5)
+        # With shared exponent 0 the grid step is 2^(0-4) = 1/16.
+        vals = np.array([1.0, 0.5, -0.25, 0.0625])
+        out = BlockedVector.encode(vals, fmt).decode()
+        np.testing.assert_array_equal(out, vals)
+
+    def test_shared_exponent_follows_peak(self):
+        fmt = BlockedFloatFormat(block_size=4, mantissa_bits=5)
+        enc = BlockedVector.encode(np.array([8.0, 0.1, 0.1, 0.1]), fmt)
+        assert enc.shared_exponent == 3
+
+    def test_small_values_lose_precision_next_to_large(self):
+        fmt = BlockedFloatFormat(block_size=2, mantissa_bits=3)
+        # Peak 8.0 -> step 2^(3-2)=2: 0.4 rounds to 0.
+        out = BlockedVector.encode(np.array([8.0, 0.4]), fmt).decode()
+        assert out[0] == 8.0
+        assert out[1] == 0.0
+
+    def test_zero_block(self):
+        enc = BlockedVector.encode(np.zeros(8), BW_BFP)
+        np.testing.assert_array_equal(enc.decode(), np.zeros(8))
+
+    def test_block_size_limit(self):
+        fmt = BlockedFloatFormat(block_size=4)
+        with pytest.raises(PrecisionError):
+            BlockedVector.encode(np.ones(5), fmt)
+        with pytest.raises(PrecisionError):
+            BlockedVector.encode(np.ones(0), fmt)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(PrecisionError):
+            BlockedVector.encode(np.array([1.0, np.inf]), BW_BFP)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False, width=64),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_error_bounded_by_peak(self, xs):
+        fmt = BlockedFloatFormat(block_size=16, mantissa_bits=5)
+        v = np.array(xs)
+        out = BlockedVector.encode(v, fmt).decode()
+        peak = np.abs(v).max()
+        if peak == 0:
+            np.testing.assert_array_equal(out, v)
+        else:
+            # Worst case error is one mantissa step at the shared exponent
+            # (half a step from rounding, up to a step at the saturating
+            # mantissa edge); the exponent itself clamps to the field range.
+            e = np.clip(np.floor(np.log2(peak)), fmt.min_exponent, fmt.max_exponent)
+            step = 2.0 ** (e - fmt.mantissa_bits + 1)
+            assert np.max(np.abs(out - v)) <= step + 1e-12
+
+    def test_quantize_array_blocks_along_last_axis(self):
+        fmt = BlockedFloatFormat(block_size=4, mantissa_bits=5)
+        rng = np.random.default_rng(3)
+        m = rng.uniform(-4, 4, size=(3, 8))
+        out = BlockedVector.quantize_array(m, fmt)
+        assert out.shape == m.shape
+        # Each 4-chunk of each row should match an independent encode.
+        expected = BlockedVector.encode(m[1, 4:8], fmt).decode()
+        np.testing.assert_array_equal(out[1, 4:8], expected)
+
+
+class TestPackedArray:
+    def test_4xfp8_fills_word(self):
+        assert PACKED_4xFP8.elements_per_word == 4
+        assert PACKED_4xFP8.element_bits == 8
+
+    def test_2xfp16_fills_word(self):
+        assert PACKED_2xFP16.elements_per_word == 2
+        assert PACKED_2xFP16.element_bits == 16
+
+    def test_bad_packing_rejected(self):
+        with pytest.raises(PrecisionError):
+            PackedFormat("bad", FP8, 3)
+        with pytest.raises(PrecisionError):
+            PackedFormat("bad", FloatFormat("f12", 5, 6), 2)
+
+    def test_words_for(self):
+        assert PACKED_4xFP8.words_for(0) == 0
+        assert PACKED_4xFP8.words_for(1) == 1
+        assert PACKED_4xFP8.words_for(4) == 1
+        assert PACKED_4xFP8.words_for(5) == 2
+        assert PACKED_4xFP8.storage_bytes(16) == 16
+
+    def test_pack_unpack_roundtrip_fp8(self):
+        vals = np.array([1.0, -2.0, 0.125, 240.0, 0.0])
+        packed = PackedArray.pack(vals, PACKED_4xFP8)
+        assert len(packed) == 5
+        assert packed.words.size == 2
+        np.testing.assert_array_equal(packed.unpack(), vals)
+
+    def test_pack_quantizes(self):
+        packed = PackedArray.pack(np.array([1.06]), PACKED_4xFP8)
+        assert packed.unpack()[0] == 1.0
+
+    def test_storage_accounting(self):
+        packed = PackedArray.pack(np.zeros(9), PACKED_4xFP8)
+        assert packed.storage_bytes == 12  # three words
+
+    def test_word_access_granularity(self):
+        packed = PackedArray.pack(np.arange(8.0), PACKED_4xFP8)
+        assert isinstance(packed.word(0), int)
+        with pytest.raises(PrecisionError):
+            packed.word(2)
+        with pytest.raises(PrecisionError):
+            packed.word(-1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-400, max_value=400, allow_nan=False, width=64),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_equals_quantize(self, xs):
+        from repro.precision import quantize
+
+        v = np.array(xs)
+        packed = PackedArray.pack(v, PACKED_4xFP8)
+        np.testing.assert_array_equal(packed.unpack(), quantize(v, FP8))
+
+    def test_packed_2xfp16_roundtrip(self):
+        rng = np.random.default_rng(4)
+        v = rng.uniform(-60000, 60000, size=33)
+        packed = PackedArray.pack(v, PACKED_2xFP16)
+        expect = v.astype(np.float16).astype(np.float64)
+        np.testing.assert_array_equal(packed.unpack(), expect)
+
+    def test_word_packs_little_endian_lanes(self):
+        # Element 0 occupies the least significant byte.
+        packed = PackedArray.pack(np.array([1.0, 0.0, 0.0, 0.0]), PACKED_4xFP8)
+        assert packed.word(0) == (7 << 3)  # fp8 encoding of 1.0 in low byte

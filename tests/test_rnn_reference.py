@@ -1,0 +1,224 @@
+"""Tests for RNN shapes, weights, and the numpy reference cells."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.rnn import (
+    GRUWeights,
+    LSTMWeights,
+    RNNShape,
+    gru_sequence,
+    gru_step,
+    lstm_sequence,
+    lstm_step,
+    sigmoid,
+)
+
+
+class TestRNNShape:
+    def test_lstm_has_four_gates(self):
+        s = RNNShape("lstm", 256, 256)
+        assert s.gates == 4
+        assert s.gate_names == ("i", "j", "f", "o")
+
+    def test_gru_has_three_gates(self):
+        s = RNNShape("gru", 512, 512)
+        assert s.gates == 3
+        assert s.gate_names == ("z", "r", "c")
+
+    def test_concat_dim(self):
+        assert RNNShape("lstm", 256, 128).concat_dim == 384
+
+    def test_weight_count_table1(self):
+        # Table 1: 4 gates x (H,H) + 4 gates x (H,D) = 4*H*R
+        s = RNNShape("lstm", 256, 256)
+        assert s.weight_count == 4 * 256 * 512
+
+    def test_mvm_flops_per_step(self):
+        s = RNNShape("lstm", 256, 256)
+        assert s.mvm_flops_per_step() == 2 * 4 * 256 * 512
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RNNShape("rnn", 4, 4)
+        with pytest.raises(ConfigError):
+            RNNShape("lstm", 0, 4)
+
+
+class TestWeights:
+    def test_random_shapes(self):
+        s = RNNShape("lstm", 8, 6)
+        w = LSTMWeights.random(s, rng=0)
+        assert w.w["i"].shape == (8, 14)
+        assert w.b["o"].shape == (8,)
+
+    def test_random_deterministic(self):
+        s = RNNShape("lstm", 4, 4)
+        a = LSTMWeights.random(s, rng=7)
+        b = LSTMWeights.random(s, rng=7)
+        np.testing.assert_array_equal(a.w["j"], b.w["j"])
+
+    def test_scale_default_keeps_preactivations_small(self):
+        s = RNNShape("lstm", 64, 64)
+        w = LSTMWeights.random(s, rng=0)
+        assert np.abs(w.w["i"]).max() <= 1.0 / np.sqrt(128)
+
+    def test_kind_mismatch_rejected(self):
+        s = RNNShape("gru", 4, 4)
+        with pytest.raises(ConfigError):
+            LSTMWeights.random(s)
+
+    def test_wrong_gate_keys_rejected(self):
+        s = RNNShape("lstm", 4, 4)
+        good = LSTMWeights.random(s)
+        bad_w = dict(good.w)
+        bad_w["z"] = bad_w.pop("i")
+        with pytest.raises(ConfigError):
+            LSTMWeights(shape=s, w=bad_w, b=good.b)
+
+    def test_wrong_shape_rejected(self):
+        s = RNNShape("gru", 4, 4)
+        good = GRUWeights.random(s)
+        bad_w = dict(good.w)
+        bad_w["z"] = np.zeros((4, 7))
+        with pytest.raises(ConfigError):
+            GRUWeights(shape=s, w=bad_w, b=good.b)
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+        np.testing.assert_allclose(
+            sigmoid(np.array([2.0])), 1 / (1 + np.exp(-2)), rtol=1e-12
+        )
+
+    def test_stable_at_extremes(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == 0.0
+        assert out[1] == 1.0
+
+    @given(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, x):
+        a = sigmoid(np.array([x]))[0]
+        b = sigmoid(np.array([-x]))[0]
+        assert a + b == pytest.approx(1.0, abs=1e-12)
+
+
+class TestLSTMReference:
+    def test_zero_weights_decay(self):
+        # With all weights/biases zero: i=f=o=0.5, j=0, so c halves each
+        # step from c0 and h = 0.5 * tanh(c).
+        s = RNNShape("lstm", 4, 4)
+        w = LSTMWeights(
+            shape=s,
+            w={g: np.zeros((4, 8)) for g in s.gate_names},
+            b={g: np.zeros(4) for g in s.gate_names},
+        )
+        c0 = np.ones(4)
+        h, c = lstm_step(w, np.zeros(4), np.zeros(4), c0)
+        np.testing.assert_allclose(c, 0.5)
+        np.testing.assert_allclose(h, 0.5 * np.tanh(0.5))
+
+    def test_forget_gate_bias_retains_memory(self):
+        # Large forget bias => f ~ 1 keeps c; large negative input bias
+        # => i ~ 0 adds nothing.
+        s = RNNShape("lstm", 3, 3)
+        b = {g: np.zeros(3) for g in s.gate_names}
+        b["f"] = np.full(3, 50.0)
+        b["i"] = np.full(3, -50.0)
+        w = LSTMWeights(shape=s, w={g: np.zeros((3, 6)) for g in s.gate_names}, b=b)
+        c0 = np.array([0.3, -0.2, 0.9])
+        _, c = lstm_step(w, np.zeros(3), np.zeros(3), c0)
+        np.testing.assert_allclose(c, c0, atol=1e-12)
+
+    def test_sequence_threading(self):
+        s = RNNShape("lstm", 8, 8)
+        w = LSTMWeights.random(s, rng=1)
+        xs = np.random.default_rng(2).normal(size=(5, 8))
+        ys, h_t, c_t = lstm_sequence(w, xs)
+        # Manually thread the steps.
+        h = np.zeros(8)
+        c = np.zeros(8)
+        for t in range(5):
+            h, c = lstm_step(w, xs[t], h, c)
+            np.testing.assert_allclose(ys[t], h, rtol=1e-12)
+        np.testing.assert_array_equal(ys[-1], h_t)
+        np.testing.assert_array_equal(c, c_t)
+
+    def test_outputs_bounded(self):
+        s = RNNShape("lstm", 16, 16)
+        w = LSTMWeights.random(s, rng=3)
+        xs = np.random.default_rng(4).normal(size=(20, 16))
+        ys, _, _ = lstm_sequence(w, xs)
+        # h = o * tanh(c), both factors in (-1, 1)
+        assert np.abs(ys).max() < 1.0
+
+    def test_shape_validation(self):
+        s = RNNShape("lstm", 4, 6)
+        w = LSTMWeights.random(s)
+        with pytest.raises(ConfigError):
+            lstm_step(w, np.zeros(4), np.zeros(4), np.zeros(4))  # x wrong size
+        with pytest.raises(ConfigError):
+            lstm_sequence(w, np.zeros((3, 4)))
+
+
+class TestGRUReference:
+    def test_zero_weights_fixed_point(self):
+        # z = 0.5, cand = 0 -> h' = 0.5 h each step.
+        s = RNNShape("gru", 4, 4)
+        w = GRUWeights(
+            shape=s,
+            w={g: np.zeros((4, 8)) for g in s.gate_names},
+            b={g: np.zeros(4) for g in s.gate_names},
+        )
+        h = gru_step(w, np.zeros(4), np.ones(4))
+        np.testing.assert_allclose(h, 0.5)
+
+    def test_update_gate_interpolates(self):
+        # Large z bias: h' ~ h (state copied through).
+        s = RNNShape("gru", 3, 3)
+        b = {g: np.zeros(3) for g in s.gate_names}
+        b["z"] = np.full(3, 50.0)
+        w = GRUWeights(shape=s, w={g: np.zeros((3, 6)) for g in s.gate_names}, b=b)
+        h0 = np.array([0.1, -0.5, 0.8])
+        h = gru_step(w, np.ones(3), h0)
+        np.testing.assert_allclose(h, h0, atol=1e-12)
+
+    def test_linear_before_reset_variant(self):
+        # The reset gate must scale (W_ch h), not h itself: craft a case
+        # distinguishing the two formulations.
+        s = RNNShape("gru", 1, 1)
+        w = {
+            "z": np.array([[0.0, 0.0]]),
+            "r": np.array([[-100.0, 0.0]]),  # x=1 -> r ~ 0
+            "c": np.array([[0.0, 1.0]]),
+        }
+        b = {g: np.zeros(1) for g in s.gate_names}
+        weights = GRUWeights(shape=s, w=w, b=b)
+        h = gru_step(weights, np.array([1.0]), np.array([0.9]))
+        # r=0 kills the hidden contribution: cand = tanh(0) = 0,
+        # z = 0.5 -> h' = 0.5*0 + 0.5*0.9
+        np.testing.assert_allclose(h, [0.45], atol=1e-12)
+
+    def test_sequence_threading(self):
+        s = RNNShape("gru", 8, 8)
+        w = GRUWeights.random(s, rng=5)
+        xs = np.random.default_rng(6).normal(size=(4, 8))
+        ys, h_t = gru_sequence(w, xs)
+        h = np.zeros(8)
+        for t in range(4):
+            h = gru_step(w, xs[t], h)
+            np.testing.assert_allclose(ys[t], h, rtol=1e-12)
+        np.testing.assert_array_equal(ys[-1], h_t)
+
+    def test_state_stays_bounded(self):
+        s = RNNShape("gru", 16, 16)
+        w = GRUWeights.random(s, rng=7)
+        xs = np.random.default_rng(8).normal(size=(50, 16))
+        ys, _ = gru_sequence(w, xs)
+        # h is a convex combination of h and tanh(...) in (-1,1).
+        assert np.abs(ys).max() <= 1.0

@@ -1,0 +1,180 @@
+"""Tests for the tracer, loop-nest analysis, and pretty printer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    Foreach,
+    LoopKind,
+    OpKind,
+    Program,
+    Range,
+    Reduce,
+    Sequential,
+    analyze,
+    format_program,
+)
+
+
+def _mvm_program(h: int, r: int, hu: int = 2, rv: int = 4, ru: int = 2) -> Program:
+    prog = Program("mvm")
+    w = prog.sram("w", (h, r))
+    x = prog.sram("x", (r,))
+    y = prog.sram("y", (h,))
+
+    @prog.main
+    def body():
+        def row(ih):
+            def outer(iu):
+                return Reduce(
+                    Range(rv, par=rv),
+                    lambda iv: w[ih, iu + iv] * x[iu + iv],
+                    label="inner_dot",
+                )
+
+            y.write(Reduce(Range(r, step=rv, par=ru), outer, label="outer_dot"), ih)
+
+        Foreach(Range(h, par=hu), row, label="h_loop")
+
+    return prog
+
+
+class TestTracer:
+    def test_loop_tree_structure(self):
+        root = _mvm_program(8, 16).trace()
+        assert len(root.children) == 1
+        h_loop = root.children[0]
+        assert h_loop.kind is LoopKind.FOREACH
+        assert h_loop.extent == 8
+        assert h_loop.par == 2
+        outer = h_loop.children[0]
+        assert outer.kind is LoopKind.REDUCE
+        assert outer.step == 4
+        inner = outer.children[0]
+        assert inner.par == 4
+
+    def test_labels_and_find(self):
+        root = _mvm_program(8, 16).trace()
+        assert root.find("h_loop") is not None
+        assert root.find("inner_dot").extent == 4
+        assert root.find("missing") is None
+
+    def test_ops_recorded_in_innermost_loop(self):
+        root = _mvm_program(8, 16).trace()
+        inner = root.find("inner_dot")
+        assert inner.op_count(OpKind.MUL) == 1
+        # index arithmetic iu + iv also records an ADD
+        assert inner.op_count(OpKind.ADD) == 2
+
+    def test_memory_accesses_tagged_with_counters(self):
+        root = _mvm_program(8, 16).trace()
+        inner = root.find("inner_dot")
+        w_reads = [a for a in inner.accesses if a.mem_name == "w"]
+        assert len(w_reads) == 1
+        # w is indexed by the h counter and both reduce counters.
+        assert len(w_reads[0].counters) == 3
+
+    def test_write_recorded_on_enclosing_loop(self):
+        root = _mvm_program(8, 16).trace()
+        h_loop = root.find("h_loop")
+        writes = [a for a in h_loop.accesses if a.is_write]
+        assert [a.mem_name for a in writes] == ["y"]
+
+    def test_trace_is_cached(self):
+        prog = _mvm_program(8, 16)
+        assert prog.trace() is prog.trace()
+
+    def test_sequential_kind(self):
+        prog = Program("seq")
+        y = prog.sram("y", (4,))
+
+        @prog.main
+        def body():
+            Sequential.Foreach(Range(3), lambda t: y.write(0.0, t))
+
+        root = prog.trace()
+        assert root.children[0].kind is LoopKind.SEQUENTIAL
+
+    def test_iterations_and_issue_count(self):
+        root = _mvm_program(10, 16, hu=4).trace()
+        h_loop = root.find("h_loop")
+        assert h_loop.iterations == 10
+        assert h_loop.issue_count == 3  # ceil(10/4)
+
+
+class TestAnalysis:
+    def test_mvm_mul_count(self):
+        h, r = 8, 16
+        info = analyze(_mvm_program(h, r).trace())
+        assert info.total_ops[OpKind.MUL] == h * r
+
+    def test_reduction_adds_counted(self):
+        h, r, rv = 8, 16, 4
+        info = analyze(_mvm_program(h, r, rv=rv).trace())
+        # inner trees: (rv-1) adds, r/rv trees per row; outer: r/rv - 1 adds
+        # plus 2 index adds per innermost iteration.
+        expected = h * ((r // rv) * (rv - 1) + (r // rv - 1)) + 2 * h * r
+        assert info.total_ops[OpKind.ADD] == expected
+
+    def test_memory_traffic(self):
+        h, r = 8, 16
+        info = analyze(_mvm_program(h, r).trace())
+        assert info.reads_of("w") == h * r
+        assert info.reads_of("x") == h * r
+        assert info.writes_of("y") == h
+
+    def test_flops_positive_and_macs(self):
+        info = analyze(_mvm_program(4, 8).trace())
+        assert info.macs == 32
+        assert info.flops > info.macs
+
+    def test_max_depth(self):
+        info = analyze(_mvm_program(4, 8).trace())
+        assert info.max_depth == 3
+
+    @given(
+        h=st.integers(min_value=1, max_value=12),
+        r_blocks=st.integers(min_value=1, max_value=6),
+        rv=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mul_count_matches_h_times_r(self, h, r_blocks, rv):
+        r = r_blocks * rv
+        info = analyze(_mvm_program(h, r, rv=rv).trace())
+        assert info.total_ops[OpKind.MUL] == h * r
+
+    def test_analysis_matches_executor_traffic(self):
+        # The tracer's static traffic equals the executor's dynamic count.
+        h, r = 6, 8
+        prog = _mvm_program(h, r)
+        info = analyze(prog.trace())
+        ex = prog.run(data={"w": np.zeros((h, r)), "x": np.zeros(r)})
+        assert info.reads_of("w") == ex.read_elems["w"]
+        assert info.reads_of("x") == ex.read_elems["x"]
+        assert info.writes_of("y") == ex.write_elems["y"]
+
+
+class TestPretty:
+    def test_format_contains_structure(self):
+        text = format_program(_mvm_program(8, 16))
+        assert "Foreach(8 par 2)" in text
+        assert "Reduce(16 by 4 par 2)" in text
+        assert "SRAM" in text
+        assert "h_loop" in text
+
+    def test_format_lists_memories(self):
+        prog = Program("mems")
+        prog.sram("weights", (4, 4))
+        prog.lut("tanh", np.tanh)
+        prog.reg("acc")
+
+        @prog.main
+        def body():
+            pass
+
+        text = format_program(prog)
+        assert "weights" in text
+        assert "tanh" in text
+        assert "acc" in text
