@@ -1,0 +1,79 @@
+"""Serving-engine hot path: cold compile vs cached steady-state serves.
+
+The engine's whole point is the compile-once split: the first request
+for a task pays for parameter selection, program construction, mapping,
+and the cycle simulation; every later request reuses the prepared model.
+These benchmarks measure both sides of that split on the Plasticine
+platform and pin the acceptance bar — warm serves at least 10x faster
+than cold compiles (in practice it is orders of magnitude).
+"""
+
+import time
+
+from repro.harness.report import format_table
+from repro.serving import ServingEngine
+from repro.workloads.deepbench import task
+
+TASK = task("lstm", 1024, 25)
+WARM_SERVES = 50
+
+
+def _cold() -> None:
+    # Fresh engine: every call re-runs the full compile pipeline.
+    ServingEngine("plasticine").serve(TASK)
+
+
+def test_cold_compile(benchmark):
+    benchmark.pedantic(_cold, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_warm_cached_serve(benchmark):
+    engine = ServingEngine("plasticine")
+    engine.serve(TASK)  # compile outside the timed region
+
+    def warm():
+        engine.serve(TASK)
+
+    benchmark(warm)
+    assert engine.cache_stats.misses == 1  # never re-compiled
+
+
+def test_warm_at_least_10x_faster_than_cold(artifact):
+    # The acceptance bar, measured directly so it does not depend on
+    # pytest-benchmark's fixture bookkeeping.
+    t0 = time.perf_counter()
+    engine = ServingEngine("plasticine")
+    engine.serve(TASK)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(WARM_SERVES):
+        engine.serve(TASK)
+    warm_s = (time.perf_counter() - t0) / WARM_SERVES
+
+    speedup = cold_s / warm_s
+    artifact(
+        "serving_engine_cache",
+        format_table(
+            ["phase", "seconds", "speedup vs cold"],
+            [
+                ["cold compile+serve", cold_s, 1.0],
+                [f"warm serve (mean of {WARM_SERVES})", warm_s, speedup],
+            ],
+            title=f"ServingEngine compile-once split ({TASK.name})",
+        ),
+    )
+    assert engine.cache_stats.misses == 1
+    assert speedup >= 10.0, f"warm serves only {speedup:.1f}x faster than cold"
+
+
+def test_batch_hits_cache_across_duplicates(benchmark):
+    engine = ServingEngine("plasticine")
+    requests = [TASK] * 20
+
+    def batch():
+        return engine.serve_batch(requests)
+
+    responses = benchmark(batch)
+    assert len(responses) == 20
+    assert engine.cache_stats.misses == 1

@@ -8,18 +8,19 @@ see EXPERIMENTS.md for the per-row discussion).
 
 import pytest
 
-from repro.api import serve_on_brainwave, serve_on_cpu, serve_on_gpu
 from repro.harness.paper_data import paper_row
 from repro.harness.report import format_table
+from repro.serving import ServingEngine
 from repro.workloads.deepbench import table6_tasks
 
 
-def _sweep(serve):
-    return {task.name: serve(task) for task in table6_tasks()}
+def _sweep(platform: str):
+    engine = ServingEngine(platform)
+    return {task.name: engine.serve(task).result for task in table6_tasks()}
 
 
 def test_cpu_column(benchmark, artifact):
-    results = benchmark(_sweep, serve_on_cpu)
+    results = benchmark(_sweep, "cpu")
     rows = []
     for task in table6_tasks():
         paper_ms = paper_row(task.kind, task.hidden).latency_cpu_ms
@@ -36,7 +37,7 @@ def test_cpu_column(benchmark, artifact):
 
 
 def test_gpu_column(benchmark, artifact):
-    results = benchmark(_sweep, serve_on_gpu)
+    results = benchmark(_sweep, "gpu")
     rows = []
     for task in table6_tasks():
         paper_ms = paper_row(task.kind, task.hidden).latency_gpu_ms
@@ -53,7 +54,7 @@ def test_gpu_column(benchmark, artifact):
 
 
 def test_brainwave_column(benchmark, artifact):
-    results = benchmark(_sweep, serve_on_brainwave)
+    results = benchmark(_sweep, "brainwave")
     rows = []
     for task in table6_tasks():
         paper_ms = paper_row(task.kind, task.hidden).latency_bw_ms

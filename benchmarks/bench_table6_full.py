@@ -39,13 +39,16 @@ def test_crossover_to_brainwave(benchmark):
 def test_gru2816_brainwave_2x(benchmark):
     # Section 5.2: BW "up to 2x better than Plasticine on the largest GRU
     # (H=2816)".
-    from repro.api import serve_on_brainwave, serve_on_plasticine
+    from repro.serving import ServingEngine
     from repro.workloads.deepbench import task
 
     t = task("gru", 2816)
 
     def both():
-        return serve_on_plasticine(t), serve_on_brainwave(t)
+        return (
+            ServingEngine("plasticine").serve(t).result,
+            ServingEngine("brainwave").serve(t).result,
+        )
 
     plast, bw = benchmark(both)
     advantage = plast.latency_s / bw.latency_s

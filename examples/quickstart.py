@@ -6,17 +6,20 @@ Walks the full stack on a small model:
 1. build the Figure 5 loop-based LSTM in the Spatial-like DSL,
 2. print the program (the shape of the paper's Figure 5),
 3. run it functionally and check it against the numpy reference,
-4. map it onto the Table 3 Plasticine chip and cycle-simulate,
-5. print the Table 6-style row: latency, effective TFLOPS, power.
+4. open a ServingEngine session on the Plasticine platform — prepare()
+   maps the design onto the Table 3 chip and cycle-simulates it once,
+5. serve requests from the compiled session and print the Table 6-style
+   row: latency, effective TFLOPS, power.  Repeat serves hit the
+   prepared-model cache and skip the mapper/simulator entirely.
 
 Run: python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import serve_on_plasticine
 from repro.rnn import LSTMWeights, RNNShape, build_lstm_program, lstm_sequence
 from repro.rnn.lstm_loop import LoopParams
+from repro.serving import ServingEngine
 from repro.spatial import format_program
 from repro.workloads.deepbench import RNNTask
 
@@ -47,9 +50,10 @@ def main() -> None:
     print(f"\nFunctional check vs numpy reference: max |err| = {max_err:.2e}")
     assert max_err == 0.0, "DSL execution must match the reference bit-exactly"
 
-    # -- 4 & 5. map onto Plasticine and simulate a DeepBench point --------
+    # -- 4 & 5. a compile-once serving session on Plasticine --------------
     task = RNNTask("lstm", 1024, 25)
-    result = serve_on_plasticine(task)
+    engine = ServingEngine("plasticine")
+    result = engine.serve(task).result  # prepare(): map + cycle-simulate
     design = result.design
     print("\n" + "=" * 72)
     print(f"Serving {task.name} on Plasticine (Table 3 configuration):")
@@ -60,6 +64,12 @@ def main() -> None:
     print(f"  latency:           {result.latency_ms:.4f} ms   (paper: 0.0292 ms)")
     print(f"  effective TFLOPS:  {result.effective_tflops:.1f}      (paper: 14.4)")
     print(f"  simulated power:   {result.power_w:.1f} W    (paper: 97.2 W)")
+
+    # Steady state: later requests for the same task reuse the compiled
+    # design — no re-mapping, no re-simulation.
+    engine.serve(task)
+    stats = engine.cache_stats
+    print(f"  session cache:     {stats.hits} hit(s), {stats.misses} compile(s)")
 
 
 if __name__ == "__main__":

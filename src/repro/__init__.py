@@ -11,22 +11,26 @@ The package is organized bottom-up:
 * :mod:`repro.baselines` — CPU / GPU / Brainwave serving-platform models.
 * :mod:`repro.dse` — design-space exploration over (hu, ru, rv, hv).
 * :mod:`repro.workloads` — the DeepBench task suite.
+* :mod:`repro.serving` — the pluggable serving engine: platform
+  registry, compile-once sessions, request streams, and fleets.
 * :mod:`repro.analysis` — fragmentation / footprint / utilization studies.
 * :mod:`repro.harness` — regenerates every table and figure of the paper.
 
 Quickstart::
 
-    from repro import serve_on_plasticine
+    from repro import ServingEngine
     from repro.workloads import deepbench
 
     task = deepbench.task("lstm", hidden=1024, timesteps=25)
-    result = serve_on_plasticine(task)
+    engine = ServingEngine("plasticine")
+    result = engine.serve(task).result      # compile once ...
+    result = engine.serve(task).result      # ... serve many (cache hit)
     print(result.latency_ms, result.effective_tflops)
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _API_NAMES = (
     "ServingResult",
@@ -36,14 +40,32 @@ _API_NAMES = (
     "serve_on_gpu",
 )
 
-__all__ = ["__version__", *_API_NAMES]
+_SERVING_NAMES = (
+    "ServingEngine",
+    "ServeRequest",
+    "ServeResponse",
+    "StreamReport",
+    "Fleet",
+    "Platform",
+    "PreparedModel",
+    "register_platform",
+    "get_platform",
+    "available_platforms",
+    "poisson_arrivals",
+)
+
+__all__ = ["__version__", *_API_NAMES, *_SERVING_NAMES]
 
 
 def __getattr__(name: str):
     # Lazy import keeps `import repro.precision` cheap and avoids import
-    # cycles while the high-level API lives in repro.api.
+    # cycles while the high-level API lives in repro.api / repro.serving.
     if name in _API_NAMES:
         from repro import api
 
         return getattr(api, name)
+    if name in _SERVING_NAMES:
+        from repro import serving
+
+        return getattr(serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.harness.platforms import platform
+from repro.platforms import platform
 from repro.harness.report import format_table, geometric_mean
 
 __all__ = ["ClaimCheck", "EfficiencyReport", "abstract_claims", "energy_per_inference_j"]

@@ -1,34 +1,46 @@
-"""High-level serving API: one call per platform, uniform results.
+"""Legacy one-shot serving API, now thin wrappers over the engine.
 
-These functions produce the quantities Table 6 reports — latency,
-effective TFLOPS, speedups and (for Plasticine) simulated power — from a
-:class:`~repro.workloads.deepbench.RNNTask`.
+.. deprecated::
+    New code should use :mod:`repro.serving` — build a
+    :class:`~repro.serving.ServingEngine` (or a
+    :class:`~repro.serving.Fleet`) so the expensive compile phase runs
+    once per task instead of on every call.  These wrappers remain for
+    backwards compatibility and produce numerically identical results;
+    each one instantiates the registered platform, prepares the task,
+    and serves it exactly once.
 
-Example::
+One-shot (this module)::
 
-    from repro import serve_on_plasticine, serve_on_gpu
+    from repro import serve_on_plasticine
     from repro.workloads import deepbench
 
     task = deepbench.task("lstm", 1024, 25)
-    plasticine = serve_on_plasticine(task)
-    gpu = serve_on_gpu(task)
-    print(gpu.latency_ms / plasticine.latency_ms)  # the speedup column
+    result = serve_on_plasticine(task)          # re-compiles every call
+    print(result.latency_ms, result.effective_tflops)
+
+Compile-once sessions (preferred)::
+
+    from repro.serving import ServingEngine
+
+    engine = ServingEngine("plasticine")
+    result = engine.serve(task).result          # compiles
+    result = engine.serve(task).result          # cache hit: no re-mapping
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.baselines.brainwave import BrainwaveServingModel
 from repro.baselines.cpu import CPUServingModel
 from repro.baselines.gpu import GPUServingModel
-from repro.dse.search import build_task_program, evaluate
-from repro.dse.tuner import paper_params, tune
-from repro.mapping.mapper import MappedDesign, map_rnn_program
-from repro.plasticine.area_power import ActivityProfile, AreaPowerModel
 from repro.plasticine.chip import PlasticineConfig
-from repro.plasticine.simulator import SimulationResult, simulate_pipeline
 from repro.rnn.lstm_loop import LoopParams
+from repro.serving.platforms import (
+    BrainwavePlatform,
+    CPUPlatform,
+    GPUPlatform,
+    PlasticinePlatform,
+)
+from repro.serving.result import ServingResult
 from repro.workloads.deepbench import RNNTask
 
 __all__ = [
@@ -38,29 +50,6 @@ __all__ = [
     "serve_on_cpu",
     "serve_on_gpu",
 ]
-
-
-@dataclass(frozen=True)
-class ServingResult:
-    """Uniform serving outcome across platforms."""
-
-    platform: str
-    task: RNNTask
-    latency_s: float
-    effective_tflops: float
-    power_w: float | None = None
-    cycles_per_step: int | None = None
-    design: MappedDesign | None = field(default=None, repr=False, compare=False)
-    simulation: SimulationResult | None = field(default=None, repr=False, compare=False)
-    notes: tuple[str, ...] = ()
-
-    @property
-    def latency_ms(self) -> float:
-        return self.latency_s * 1e3
-
-    def speedup_over(self, other: "ServingResult") -> float:
-        """How much faster *this* platform is than ``other`` (>1 = faster)."""
-        return other.latency_s / self.latency_s
 
 
 def serve_on_plasticine(
@@ -73,6 +62,9 @@ def serve_on_plasticine(
 ) -> ServingResult:
     """Map the loop-based design and run the cycle-level simulator.
 
+    .. deprecated:: use ``ServingEngine("plasticine")`` to amortize the
+        mapping and simulation across repeated serves.
+
     Args:
         task: The DeepBench task.
         params: Loop knobs; defaults to the reconstructed paper parameters
@@ -81,78 +73,31 @@ def serve_on_plasticine(
         bits: Weight/multiply precision.
         use_dse: Force DSE selection even when paper parameters exist.
     """
-    chip = chip or PlasticineConfig.rnn_serving()
-    if params is None:
-        params = None if use_dse else paper_params(task)
-        if params is None:
-            params = tune(task, chip, bits=bits).best_params
-
-    prog = build_task_program(task, params)
-    design = map_rnn_program(prog, chip, bits=bits)
-    sim = simulate_pipeline(design.graph)
-
-    latency_s = sim.total_cycles / (chip.clock_ghz * 1e9)
-    power_model = AreaPowerModel()
-    activity = ActivityProfile(
-        pcu_busy=min(sim.average_busy_units(design.graph, "pcu"), chip.n_pcu),
-        pmu_busy=min(sim.average_busy_units(design.graph, "pmu"), chip.n_pmu),
-    )
-    notes = list(design.resources.notes)
-    if not design.resources.fits_capacity:
-        notes.append(
-            f"weights exceed on-chip capacity "
-            f"({design.resources.bytes_used / 2**20:.1f} MB > "
-            f"{design.resources.onchip_bytes / 2**20:.1f} MB)"
-        )
-    return ServingResult(
-        platform="plasticine",
-        task=task,
-        latency_s=latency_s,
-        effective_tflops=task.effective_tflops(latency_s),
-        power_w=power_model.power_w(chip, activity),
-        cycles_per_step=sim.cycles_per_step + sim.step_overhead,
-        design=design,
-        simulation=sim,
-        notes=tuple(notes),
-    )
+    platform = PlasticinePlatform(chip, params=params, bits=bits, use_dse=use_dse)
+    return platform.serve_task(task)
 
 
 def serve_on_brainwave(
     task: RNNTask, model: BrainwaveServingModel | None = None
 ) -> ServingResult:
-    """Run the Brainwave instruction-level model."""
-    model = model or BrainwaveServingModel()
-    latency_s = model.latency_seconds(task)
-    trace = model.step_trace(task)
-    return ServingResult(
-        platform="brainwave",
-        task=task,
-        latency_s=latency_s,
-        effective_tflops=model.effective_tflops(task),
-        cycles_per_step=trace.step_cycles,
-        notes=(f"{trace.mvm_instructions} MVM + {trace.mfu_instructions} MFU instrs/step",),
-    )
+    """Run the Brainwave instruction-level model.
+
+    .. deprecated:: use ``ServingEngine("brainwave")``.
+    """
+    return BrainwavePlatform(model).serve_task(task)
 
 
 def serve_on_cpu(task: RNNTask, model: CPUServingModel | None = None) -> ServingResult:
-    """Run the Xeon Skylake / TensorFlow model."""
-    model = model or CPUServingModel()
-    latency_s = model.latency_seconds(task)
-    return ServingResult(
-        platform="cpu",
-        task=task,
-        latency_s=latency_s,
-        effective_tflops=model.effective_tflops(task),
-    )
+    """Run the Xeon Skylake / TensorFlow model.
+
+    .. deprecated:: use ``ServingEngine("cpu")``.
+    """
+    return CPUPlatform(model).serve_task(task)
 
 
 def serve_on_gpu(task: RNNTask, model: GPUServingModel | None = None) -> ServingResult:
-    """Run the Tesla V100 / cuDNN model."""
-    model = model or GPUServingModel()
-    latency_s = model.latency_seconds(task)
-    return ServingResult(
-        platform="gpu",
-        task=task,
-        latency_s=latency_s,
-        effective_tflops=model.effective_tflops(task),
-    )
+    """Run the Tesla V100 / cuDNN model.
+
+    .. deprecated:: use ``ServingEngine("gpu")``.
+    """
+    return GPUPlatform(model).serve_task(task)

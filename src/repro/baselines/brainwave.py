@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.platforms import PLATFORMS
 from repro.precision.blocked import BW_BFP, BlockedFloatFormat
 from repro.workloads.deepbench import RNNTask
 
@@ -50,7 +51,8 @@ class BrainwaveConfig:
     hv: int = 400  # native dimension (dot-product engines per tile)
     rv: int = 40  # lanes per dot-product engine
     ru: int = 6  # parallel tile engines ("# MV Tiles")
-    clock_ghz: float = 0.25
+    # Table 5 achieved clock, from the single spec registry.
+    clock_ghz: float = PLATFORMS["brainwave"].achieved_clock_ghz
     dispatch_cycles: int = 54
     init_cycles: int = 2600
     weight_format: BlockedFloatFormat = BW_BFP

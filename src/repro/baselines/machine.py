@@ -6,7 +6,7 @@ so the dominant term is ``weight_bytes / effective_bandwidth(footprint)``,
 with the effective bandwidth determined by which cache level the weights
 live in.  Capacities/bandwidths here are *effective single-stream* values
 calibrated to the paper's Table 6 (see module docstrings of the CPU/GPU
-models); hardware spec values live in :mod:`repro.harness.platforms`.
+models); hardware spec values live in :mod:`repro.platforms`.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.platforms import PLATFORMS
 
 __all__ = ["MemoryLevel", "ProcessorMachine", "XEON_SKYLAKE", "TESLA_V100"]
 
@@ -50,6 +51,7 @@ class ProcessorMachine:
     levels: tuple[MemoryLevel, ...]
     per_step_overhead_s: float
     init_overhead_s: float
+    tdp_w: float | None = None
 
     def __post_init__(self) -> None:
         if not self.levels or self.levels[-1].capacity_bytes is not None:
@@ -78,14 +80,19 @@ class ProcessorMachine:
         return flops / (self.peak_tflops * 1e12 * efficiency)
 
 
+_CPU_SPEC = PLATFORMS["cpu"]
+_GPU_SPEC = PLATFORMS["gpu"]
+
 #: Intel Xeon Skylake (dual core, TF 1.10 + AVX2, fp32).  Effective
 #: bandwidths calibrated to Table 6: ~20 GB/s cache-resident small models,
 #: ~18 GB/s mid, ~8.2 GB/s single-stream DRAM for models past ~16 MB.
-#: Peak fp32: 2 cores x 2 FMA x 8 lanes x 2 ops x 2.0 GHz = 128 GFLOPS.
+#: Peak fp32: 2 cores x 2 FMA x 8 lanes x 2 ops at the Table 5 achieved
+#: clock (2.0 GHz -> 128 GFLOPS); clock and TDP come from the
+#: :data:`repro.platforms.PLATFORMS` registry.
 XEON_SKYLAKE = ProcessorMachine(
     name="xeon-skylake",
-    clock_ghz=2.0,
-    peak_tflops=0.128,
+    clock_ghz=_CPU_SPEC.achieved_clock_ghz,
+    peak_tflops=2 * 2 * 8 * 2 * _CPU_SPEC.achieved_clock_ghz / 1e3,
     levels=(
         MemoryLevel("L2", 4 * 2**20, 20.0),
         MemoryLevel("L3", 16 * 2**20, 18.0),
@@ -93,16 +100,19 @@ XEON_SKYLAKE = ProcessorMachine(
     ),
     per_step_overhead_s=1e-6,
     init_overhead_s=400e-6,
+    tdp_w=_CPU_SPEC.tdp_w,
 )
 
 #: NVIDIA Tesla V100 SXM2 (TF + cuDNN, fp16).  Effective HBM bandwidth for
 #: cuDNN's batch-1 GEMV calibrated to 850 GB/s; 9 us kernel chain overhead
 #: per step; one-time cuDNN plan/init ~390 us (the paper's GRU-512 note).
+#: Achieved clock, peak TFLOPS, and TDP come from the registry.
 TESLA_V100 = ProcessorMachine(
     name="tesla-v100",
-    clock_ghz=1.38,
-    peak_tflops=15.7,
+    clock_ghz=_GPU_SPEC.achieved_clock_ghz,
+    peak_tflops=_GPU_SPEC.peak_tflops_32bit or 0.0,
     levels=(MemoryLevel("HBM2", None, 850.0),),
     per_step_overhead_s=9e-6,
     init_overhead_s=390e-6,
+    tdp_w=_GPU_SPEC.tdp_w,
 )

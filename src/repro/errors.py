@@ -59,3 +59,7 @@ class WorkloadError(ReproError):
 
 class DSEError(ReproError):
     """Design-space exploration failed (empty space, no feasible point)."""
+
+
+class ServingError(ReproError):
+    """Invalid serving-engine usage (unknown platform, bad stream config)."""

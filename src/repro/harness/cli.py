@@ -5,7 +5,9 @@ Usage::
     python -m repro table3|table4|table5|table6|table7
     python -m repro figure1_3|figure4|figure6|figure7
     python -m repro claims           # the abstract's headline claims
-    python -m repro serve lstm 1024  # one task on all four platforms
+    python -m repro serve lstm 1024  # one task on all registered platforms
+    python -m repro serve --platform plasticine          # one platform
+    python -m repro serve lstm 512 --stream --rate 400 --slo-ms 5
     python -m repro all              # everything (slow: runs the DSE)
 """
 
@@ -47,32 +49,78 @@ def _cmd_claims(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    from repro.api import (
-        serve_on_brainwave,
-        serve_on_cpu,
-        serve_on_gpu,
-        serve_on_plasticine,
-    )
     from repro.harness.report import format_table
+    from repro.serving import available_platforms
     from repro.workloads.deepbench import task
 
     t = task(args.kind, args.hidden, args.timesteps)
+    names = [args.platform] if args.platform else list(available_platforms())
+    if args.stream:
+        return _serve_stream_table(args, t, names)
+    return _serve_once_table(t, names)
+
+
+def _serve_once_table(t, names: list[str]) -> str:
+    from repro.harness.report import format_table
+    from repro.serving import ServingEngine
+
+    results = {name: ServingEngine(name).serve(t).result for name in names}
+    plat = results.get("plasticine")
+    headers = ["platform", "latency ms", "eff TFLOPS", "power W"]
+    if plat is not None:
+        headers.insert(3, "plasticine speedup")
     rows = []
-    plat = serve_on_plasticine(t)
-    for res in (serve_on_cpu(t), serve_on_gpu(t), serve_on_brainwave(t), plat):
+    for res in results.values():
+        row = [
+            res.platform,
+            res.latency_ms,
+            res.effective_tflops,
+            res.power_w if res.power_w is not None else "-",
+        ]
+        if plat is not None:
+            row.insert(3, plat.speedup_over(res))
+        rows.append(row)
+    return format_table(headers, rows, title=f"Serving {t.name}")
+
+
+def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
+    from repro.errors import ServingError
+    from repro.harness.report import format_table
+    from repro.serving import Fleet, ServingEngine, poisson_arrivals
+
+    if args.replicas < 1:
+        raise ServingError("--replicas must be >= 1")
+    arrivals = poisson_arrivals(
+        t, rate_per_s=args.rate, n_requests=args.requests, seed=args.seed
+    )
+    rows = []
+    for name in names:
+        if args.replicas > 1:
+            server = Fleet(name, replicas=args.replicas, policy=args.policy)
+        else:
+            server = ServingEngine(name)
+        report = server.serve_stream(arrivals, slo_ms=args.slo_ms)
         rows.append(
             [
-                res.platform,
-                res.latency_ms,
-                res.effective_tflops,
-                plat.speedup_over(res) if res is not plat else 1.0,
-                res.power_w if res.power_w is not None else "-",
+                name,
+                report.responses[0].service_s * 1e3,
+                report.p50_ms,
+                report.p99_ms,
+                report.mean_queue_delay_ms,
+                round(report.max_rate_per_s, 1),
+                "SATURATED" if report.saturated else
+                ("yes" if report.slo_attained else "NO"),
             ]
         )
+    title = (
+        f"Streaming {t.name} at {args.rate:.0f} req/s "
+        f"({args.requests} requests, {args.replicas} replica(s), {args.policy})"
+    )
     return format_table(
-        ["platform", "latency ms", "eff TFLOPS", "plasticine speedup", "power W"],
+        ["platform", "service ms", "P50 ms", "P99 ms", "queue ms", "max req/s",
+         f"P99<={args.slo_ms}ms"],
         rows,
-        title=f"Serving {t.name}",
+        title=title,
     )
 
 
@@ -122,10 +170,42 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_claims
     )
 
-    serve = sub.add_parser("serve", help="serve one task on all platforms")
-    serve.add_argument("kind", choices=["lstm", "gru"])
-    serve.add_argument("hidden", type=int)
+    serve = sub.add_parser(
+        "serve",
+        help="serve one task on a registered platform (default: all)",
+        description="Serve a DeepBench task through the serving engine. "
+        "With --stream, run a Poisson request stream through the FIFO "
+        "queue simulation and report P50/P99 against the SLO.",
+    )
+    serve.add_argument("kind", choices=["lstm", "gru"], nargs="?", default="lstm")
+    serve.add_argument("hidden", type=int, nargs="?", default=512)
     serve.add_argument("timesteps", type=int, nargs="?", default=None)
+    serve.add_argument(
+        "--platform",
+        help="registered platform name (default: every registered platform)",
+    )
+    serve.add_argument(
+        "--stream", action="store_true", help="simulate a Poisson request stream"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=400.0, help="stream arrival rate, req/s"
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=5.0, help="latency SLO for the stream"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=1000, help="number of stream requests"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="stream arrival seed")
+    serve.add_argument(
+        "--replicas", type=int, default=1, help="fleet replicas (stream mode)"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["round-robin", "least-loaded"],
+        default="least-loaded",
+        help="fleet scheduling policy (stream mode)",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("all", help="everything (slow)").set_defaults(fn=_cmd_all)

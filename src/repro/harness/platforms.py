@@ -1,105 +1,12 @@
-"""Hardware and application spec registry (paper Tables 4 and 5)."""
+"""Backwards-compatible alias of :mod:`repro.platforms`.
+
+The spec registry moved to the package top level so the baseline models
+can read hardware constants without importing the harness.  Import from
+:mod:`repro.platforms` in new code.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.platforms import PLATFORMS, PlatformSpec, platform
 
 __all__ = ["PlatformSpec", "PLATFORMS", "platform"]
-
-
-@dataclass(frozen=True)
-class PlatformSpec:
-    """One column of Tables 4 + 5.
-
-    ``None`` marks entries the paper leaves blank (e.g. CPU TFLOPS).
-    """
-
-    key: str
-    display_name: str
-    max_clock_ghz: float
-    achieved_clock_ghz: float
-    onchip_memory_mb: float
-    onchip_memory_kind: str
-    peak_tflops_32bit: float | None
-    peak_tflops_8bit: float | None
-    technology_nm: int
-    die_area_mm2: float
-    tdp_w: float
-    software_framework: str
-    precision: str
-    measured_peak_power_w: float | None = None
-
-
-PLATFORMS: dict[str, PlatformSpec] = {
-    "cpu": PlatformSpec(
-        key="cpu",
-        display_name="Intel Xeon Skylake (dual core)",
-        max_clock_ghz=2.8,
-        achieved_clock_ghz=2.0,
-        onchip_memory_mb=55,
-        onchip_memory_kind="L3 cache",
-        peak_tflops_32bit=None,
-        peak_tflops_8bit=None,
-        technology_nm=14,
-        die_area_mm2=64.4,
-        tdp_w=15,
-        software_framework="TF+AVX2",
-        precision="f32",
-    ),
-    "gpu": PlatformSpec(
-        key="gpu",
-        display_name="Tesla V100 SXM2",
-        max_clock_ghz=1.53,
-        achieved_clock_ghz=1.38,
-        onchip_memory_mb=20,
-        onchip_memory_kind="register file",
-        peak_tflops_32bit=15.7,
-        peak_tflops_8bit=None,
-        technology_nm=12,
-        die_area_mm2=815,
-        tdp_w=300,
-        software_framework="TF+cuDNN",
-        precision="f16",
-    ),
-    "brainwave": PlatformSpec(
-        key="brainwave",
-        display_name="Stratix 10 280 FPGA",
-        max_clock_ghz=1.0,
-        achieved_clock_ghz=0.25,
-        onchip_memory_mb=30.5,
-        onchip_memory_kind="on-chip scratchpad",
-        peak_tflops_32bit=10,
-        peak_tflops_8bit=48,
-        technology_nm=14,
-        die_area_mm2=1200,
-        tdp_w=148,
-        software_framework="Brainwave",
-        precision="blocked precision",
-        measured_peak_power_w=125,
-    ),
-    "plasticine": PlatformSpec(
-        key="plasticine",
-        display_name="Plasticine",
-        max_clock_ghz=1.0,
-        achieved_clock_ghz=1.0,
-        onchip_memory_mb=31.5,
-        onchip_memory_kind="on-chip scratchpad",
-        peak_tflops_32bit=12.5,
-        peak_tflops_8bit=49,
-        technology_nm=28,
-        die_area_mm2=494.37,
-        tdp_w=160,
-        software_framework="Spatial",
-        precision="mix f8+16+32",
-    ),
-}
-
-
-def platform(key: str) -> PlatformSpec:
-    """Look up a platform spec by key (cpu / gpu / brainwave / plasticine)."""
-    try:
-        return PLATFORMS[key]
-    except KeyError:
-        raise KeyError(
-            f"unknown platform {key!r}; known: {sorted(PLATFORMS)}"
-        ) from None

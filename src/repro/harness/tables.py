@@ -9,19 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.api import (
-    ServingResult,
-    serve_on_brainwave,
-    serve_on_cpu,
-    serve_on_gpu,
-    serve_on_plasticine,
-)
 from repro.dse.tuner import paper_params, tune
 from repro.harness.paper_data import TABLE6, TABLE6_GEOMEAN_SPEEDUPS, paper_row
-from repro.harness.platforms import PLATFORMS
+from repro.platforms import PLATFORMS
 from repro.harness.report import format_table, geometric_mean
 from repro.plasticine.area_power import AreaPowerModel
 from repro.plasticine.chip import PlasticineConfig
+from repro.serving import ServingEngine, ServingResult
 from repro.workloads.deepbench import RNNTask, table6_tasks
 
 __all__ = ["table3", "table4", "table5", "table6", "table7", "Table6Result"]
@@ -86,16 +80,15 @@ def table6(tasks: tuple[RNNTask, ...] | None = None) -> Table6Result:
     task, with the paper's values inline for comparison.
     """
     tasks = tasks or table6_tasks()
+    # One compile-once engine per Table 6 platform for the whole table.
+    engines = {
+        name: ServingEngine(name) for name in ("cpu", "gpu", "brainwave", "plasticine")
+    }
     results: dict[str, dict[str, ServingResult]] = {}
     rows = []
     speedups: dict[str, list[float]] = {"cpu": [], "gpu": [], "brainwave": []}
     for task in tasks:
-        per = {
-            "cpu": serve_on_cpu(task),
-            "gpu": serve_on_gpu(task),
-            "brainwave": serve_on_brainwave(task),
-            "plasticine": serve_on_plasticine(task),
-        }
+        per = {name: engine.serve(task).result for name, engine in engines.items()}
         results[task.name] = per
         plat = per["plasticine"]
         for key in speedups:

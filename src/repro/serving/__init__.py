@@ -1,0 +1,79 @@
+"""Pluggable serving engine: platform registry, sessions, streams, fleets.
+
+This package is the serving surface of the reproduction, structured the
+way real accelerator deployments are:
+
+* :mod:`repro.serving.platform` — the :class:`Platform` protocol
+  (``prepare`` once, ``serve`` many) and the decorator registry that
+  makes platforms pluggable by name.
+* :mod:`repro.serving.platforms` — the four built-in platforms:
+  Plasticine (mapper + cycle simulator) and the CPU / GPU / Brainwave
+  analytical models.
+* :mod:`repro.serving.engine` — :class:`ServingEngine`, one
+  accelerator's compile-once session with ``serve`` / ``serve_batch`` /
+  ``serve_stream`` (FIFO queueing + SLO accounting).
+* :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
+  round-robin or least-loaded dispatcher.
+
+Quickstart::
+
+    from repro.serving import ServingEngine, poisson_arrivals
+    from repro.workloads import deepbench
+
+    task = deepbench.task("lstm", 1024, 25)
+    engine = ServingEngine("plasticine")
+    print(engine.serve(task).result.latency_ms)       # compiles + serves
+    print(engine.serve(task).result.latency_ms)       # cache hit
+    report = engine.serve_stream(
+        poisson_arrivals(task, rate_per_s=400, n_requests=2000), slo_ms=5.0
+    )
+    print(report.p50_ms, report.p99_ms, report.slo_miss_rate)
+"""
+
+from repro.serving.engine import (
+    CacheStats,
+    ServeRequest,
+    ServeResponse,
+    ServingEngine,
+    StreamReport,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
+from repro.serving.platform import (
+    Platform,
+    PreparedModel,
+    available_platforms,
+    get_platform,
+    register_platform,
+)
+from repro.serving.platforms import (
+    BrainwavePlatform,
+    CPUPlatform,
+    GPUPlatform,
+    PlasticinePlatform,
+)
+from repro.serving.result import ServingResult
+
+__all__ = [
+    "ServingResult",
+    "Platform",
+    "PreparedModel",
+    "register_platform",
+    "get_platform",
+    "available_platforms",
+    "PlasticinePlatform",
+    "BrainwavePlatform",
+    "CPUPlatform",
+    "GPUPlatform",
+    "ServingEngine",
+    "ServeRequest",
+    "ServeResponse",
+    "StreamReport",
+    "CacheStats",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "Fleet",
+    "FleetReport",
+    "SCHEDULING_POLICIES",
+]

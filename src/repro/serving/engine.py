@@ -1,0 +1,345 @@
+"""The serving engine: compile-once sessions and batch/stream requests.
+
+The paper's serving scenario (Section 1) is a stream of individual
+batch-1 requests under a stringent latency window.  The engine models
+one accelerator running that loop:
+
+* a keyed cache of :class:`~repro.serving.platform.PreparedModel` per
+  task — the platform's compile phase (for Plasticine: parameter
+  selection, mapping, cycle simulation) runs once and every later
+  request for the same task reuses it;
+* ``serve`` / ``serve_batch`` for one-off and grouped requests;
+* ``serve_stream`` — a FIFO single-server queue over timestamped
+  arrivals, reporting per-request queueing delay and SLO attainment
+  (the simulation that used to live in ``examples/serving_latency.py``).
+
+Example::
+
+    engine = ServingEngine("plasticine")
+    first = engine.serve(task)            # compiles, then serves
+    again = engine.serve(task)            # cache hit: no re-mapping
+    report = engine.serve_stream(poisson_arrivals(task, rate_per_s=400,
+                                                  n_requests=2000),
+                                 slo_ms=5.0)
+    print(report.p99_ms, report.slo_miss_rate)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from repro.errors import ServingError
+from repro.serving.platform import Platform, PreparedModel, get_platform
+from repro.serving.result import ServingResult
+from repro.workloads.deepbench import RNNTask
+
+__all__ = [
+    "ServeRequest",
+    "ServeResponse",
+    "StreamReport",
+    "CacheStats",
+    "ServingEngine",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One serving request: a task plus its arrival timestamp."""
+
+    task: RNNTask
+    arrival_s: float = 0.0
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ServingError("arrival_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The engine's answer: the result plus the request's timeline."""
+
+    request: ServeRequest
+    result: ServingResult
+    queue_delay_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Time on the accelerator (the platform's serving latency)."""
+        return self.result.latency_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Queueing delay + service: what the user experiences."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def sojourn_ms(self) -> float:
+        return self.sojourn_s * 1e3
+
+
+@dataclass
+class CacheStats:
+    """Prepared-model cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default) on sorted data."""
+    if not sorted_values:
+        raise ServingError("percentile of an empty stream")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Aggregate outcome of a request stream against an SLO."""
+
+    platform: str
+    responses: tuple[ServeResponse, ...] = field(repr=False)
+    slo_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.responses:
+            raise ServingError("stream produced no responses")
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.responses)
+
+    @cached_property
+    def _sojourns_ms(self) -> tuple[float, ...]:
+        # cached_property writes through __dict__, which frozen
+        # dataclasses permit; the responses tuple never changes.
+        return tuple(sorted(r.sojourn_ms for r in self.responses))
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(self._sojourns_ms, 50)
+
+    @property
+    def p99_ms(self) -> float:
+        return _percentile(self._sojourns_ms, 99)
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self._sojourns_ms) / len(self._sojourns_ms)
+
+    @property
+    def mean_queue_delay_ms(self) -> float:
+        return sum(r.queue_delay_s for r in self.responses) * 1e3 / self.n_requests
+
+    @property
+    def offered_rate_per_s(self) -> float:
+        """Arrival rate implied by the stream's time span.
+
+        A single request has no rate (0.0); several requests arriving
+        at the same instant are an infinite-rate burst.
+        """
+        span = max(r.request.arrival_s for r in self.responses)
+        if span > 0:
+            return self.n_requests / span
+        return 0.0 if self.n_requests == 1 else math.inf
+
+    @property
+    def max_rate_per_s(self) -> float:
+        """Sustainable rate: one over the mean service time."""
+        mean_service = sum(r.service_s for r in self.responses) / self.n_requests
+        return 1.0 / mean_service
+
+    @property
+    def saturated(self) -> bool:
+        """True when arrivals outpace what the server can drain."""
+        return self.offered_rate_per_s >= self.max_rate_per_s
+
+    @property
+    def slo_miss_rate(self) -> float:
+        """Fraction of requests whose sojourn exceeded the SLO."""
+        if self.slo_ms is None:
+            raise ServingError("no SLO configured for this stream")
+        misses = sum(1 for r in self.responses if r.sojourn_ms > self.slo_ms)
+        return misses / self.n_requests
+
+    @property
+    def slo_attained(self) -> bool:
+        return self.slo_ms is not None and self.p99_ms <= self.slo_ms
+
+
+def poisson_arrivals(
+    task: RNNTask,
+    *,
+    rate_per_s: float,
+    n_requests: int,
+    seed: int = 0,
+) -> tuple[ServeRequest, ...]:
+    """A Poisson request stream for one task (exponential inter-arrivals).
+
+    The same seed at two different rates yields time-scaled copies of the
+    same stream, which keeps rate sweeps comparable.
+    """
+    if rate_per_s <= 0:
+        raise ServingError("rate_per_s must be positive")
+    if n_requests < 1:
+        raise ServingError("n_requests must be >= 1")
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    inter = rng.exponential(1.0 / rate_per_s, size=n_requests)
+    arrivals = np.cumsum(inter)
+    return tuple(
+        ServeRequest(task=task, arrival_s=float(t), request_id=i)
+        for i, t in enumerate(arrivals)
+    )
+
+
+def uniform_arrivals(
+    task: RNNTask, *, rate_per_s: float, n_requests: int
+) -> tuple[ServeRequest, ...]:
+    """A deterministic evenly-spaced request stream for one task."""
+    if rate_per_s <= 0:
+        raise ServingError("rate_per_s must be positive")
+    if n_requests < 1:
+        raise ServingError("n_requests must be >= 1")
+    period = 1.0 / rate_per_s
+    return tuple(
+        ServeRequest(task=task, arrival_s=(i + 1) * period, request_id=i)
+        for i in range(n_requests)
+    )
+
+
+class ServingEngine:
+    """One accelerator's serving session: compile once, serve many.
+
+    Args:
+        platform: A registry key (``"plasticine"``, ``"brainwave"``,
+            ``"cpu"``, ``"gpu"``, or anything registered via
+            ``@register_platform``) or an already-built
+            :class:`~repro.serving.platform.Platform` instance.
+        cache: Optional externally-owned prepared-model cache, keyed by
+            task.  A :class:`~repro.serving.fleet.Fleet` passes one
+            shared dict so replicas compile each task only once.
+        **platform_options: Forwarded to the platform constructor when
+            ``platform`` is a key.
+    """
+
+    def __init__(
+        self,
+        platform: str | Platform,
+        *,
+        cache: dict[RNNTask, PreparedModel] | None = None,
+        **platform_options: object,
+    ) -> None:
+        if isinstance(platform, Platform):
+            if platform_options:
+                raise ServingError(
+                    "platform options only apply when platform is given by name"
+                )
+            self.platform = platform
+        else:
+            self.platform = get_platform(platform, **platform_options)
+        self._cache: dict[RNNTask, PreparedModel] = cache if cache is not None else {}
+        self.cache_stats = CacheStats()
+
+    @property
+    def platform_name(self) -> str:
+        return self.platform.name
+
+    def prepare(self, task: RNNTask) -> PreparedModel:
+        """Fetch (or compile and cache) the prepared model for a task."""
+        prepared = self._cache.get(task)
+        if prepared is not None:
+            self.cache_stats.hits += 1
+            return prepared
+        self.cache_stats.misses += 1
+        prepared = self.platform.prepare(task)
+        self._cache[task] = prepared
+        return prepared
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_stats = CacheStats()
+
+    def _as_request(self, request: ServeRequest | RNNTask) -> ServeRequest:
+        if isinstance(request, RNNTask):
+            return ServeRequest(task=request)
+        return request
+
+    def serve(self, request: ServeRequest | RNNTask) -> ServeResponse:
+        """Serve one request, with no queueing ahead of it."""
+        req = self._as_request(request)
+        result = self.platform.serve(self.prepare(req.task))
+        return ServeResponse(
+            request=req,
+            result=result,
+            queue_delay_s=0.0,
+            start_s=req.arrival_s,
+            finish_s=req.arrival_s + result.latency_s,
+        )
+
+    def serve_batch(
+        self, requests: Iterable[ServeRequest | RNNTask]
+    ) -> tuple[ServeResponse, ...]:
+        """Serve a group of independent requests (each unqueued).
+
+        Results are identical to calling :meth:`serve` per request; the
+        batch path exists so callers can hand over a workload in one call
+        and still hit the prepared-model cache across duplicates.
+        """
+        return tuple(self.serve(r) for r in requests)
+
+    def serve_stream(
+        self,
+        arrivals: Iterable[ServeRequest],
+        *,
+        slo_ms: float | None = None,
+    ) -> StreamReport:
+        """Run a timestamped stream through a FIFO single-server queue.
+
+        Requests are served in arrival order, one at a time (batch 1, as
+        the paper's serving scenario demands); each response records how
+        long the request waited behind earlier ones.
+        """
+        ordered = sorted(
+            (self._as_request(r) for r in arrivals),
+            key=lambda r: (r.arrival_s, r.request_id),
+        )
+        if not ordered:
+            raise ServingError("serve_stream needs at least one request")
+        responses = []
+        free_at = 0.0
+        for req in ordered:
+            result = self.platform.serve(self.prepare(req.task))
+            start = max(req.arrival_s, free_at)
+            finish = start + result.latency_s
+            free_at = finish
+            responses.append(
+                ServeResponse(
+                    request=req,
+                    result=result,
+                    queue_delay_s=start - req.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            )
+        return StreamReport(
+            platform=self.platform_name, responses=tuple(responses), slo_ms=slo_ms
+        )

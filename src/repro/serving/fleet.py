@@ -1,0 +1,151 @@
+"""Scale-out serving: schedule one stream across N engine replicas.
+
+The ROADMAP's north star is fleet-scale traffic; a single batch-1
+accelerator saturates at ``1 / service_time`` requests per second.  A
+:class:`Fleet` models the obvious scale-out: N identical replicas behind
+a dispatcher.  Two policies are built in:
+
+* ``"round-robin"`` — request *i* goes to replica ``i % N``; oblivious
+  to load, cheap, and the right baseline.
+* ``"least-loaded"`` — each request goes to the replica that will free
+  up first (join-the-shortest-queue for deterministic service times),
+  which strictly dominates round-robin on bursty Poisson traffic.
+
+Replicas share one prepared-model cache, so a fleet compiles each task
+exactly once no matter how many replicas serve it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ServingError
+from repro.serving.engine import ServeRequest, ServeResponse, ServingEngine, StreamReport
+from repro.serving.platform import Platform, PreparedModel
+from repro.workloads.deepbench import RNNTask
+
+__all__ = ["Fleet", "FleetReport", "SCHEDULING_POLICIES"]
+
+SCHEDULING_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass(frozen=True)
+class FleetReport(StreamReport):
+    """A stream report plus the per-replica assignment it came from."""
+
+    policy: str = "round-robin"
+    assignments: tuple[int, ...] = field(default=(), repr=False)
+    #: The fleet's configured replica count — not derived from the
+    #: assignments, so idle replicas still count toward capacity.
+    replicas: int = 1
+
+    @property
+    def n_replicas(self) -> int:
+        return self.replicas
+
+    @property
+    def max_rate_per_s(self) -> float:
+        """Sustainable rate of the whole fleet, not one replica."""
+        return super().max_rate_per_s * self.n_replicas
+
+    @property
+    def per_replica_counts(self) -> tuple[int, ...]:
+        counts = [0] * self.n_replicas
+        for replica in self.assignments:
+            counts[replica] += 1
+        return tuple(counts)
+
+    def replica_utilization(self) -> tuple[float, ...]:
+        """Busy fraction of each replica over the stream's makespan."""
+        makespan = max(r.finish_s for r in self.responses)
+        busy = [0.0] * self.n_replicas
+        for replica, resp in zip(self.assignments, self.responses):
+            busy[replica] += resp.service_s
+        return tuple(b / makespan for b in busy)
+
+
+class Fleet:
+    """N engine replicas of one platform behind a dispatcher."""
+
+    def __init__(
+        self,
+        platform: str | Platform,
+        *,
+        replicas: int = 2,
+        policy: str = "round-robin",
+        **platform_options: object,
+    ) -> None:
+        if replicas < 1:
+            raise ServingError("a fleet needs at least one replica")
+        if policy not in SCHEDULING_POLICIES:
+            raise ServingError(
+                f"unknown scheduling policy {policy!r}; "
+                f"known: {', '.join(SCHEDULING_POLICIES)}"
+            )
+        if not isinstance(platform, str) and platform_options:
+            raise ServingError(
+                "platform options only apply when platform is given by name"
+            )
+        self.policy = policy
+        shared_cache: dict[RNNTask, PreparedModel] = {}
+        # One engine per replica over a shared compile cache: the fleet
+        # prepares each distinct task once, not once per replica.
+        self.engines = tuple(
+            ServingEngine(platform, cache=shared_cache, **platform_options)
+            for _ in range(replicas)
+        )
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.engines)
+
+    @property
+    def platform_name(self) -> str:
+        return self.engines[0].platform_name
+
+    def serve_stream(
+        self,
+        arrivals: Iterable[ServeRequest],
+        *,
+        slo_ms: float | None = None,
+    ) -> FleetReport:
+        """Dispatch a timestamped stream across the replicas.
+
+        Each replica is a FIFO single server; the dispatcher assigns
+        every request on arrival (no work stealing afterwards).
+        """
+        ordered = sorted(arrivals, key=lambda r: (r.arrival_s, r.request_id))
+        if not ordered:
+            raise ServingError("serve_stream needs at least one request")
+        free_at = [0.0] * self.n_replicas
+        responses: list[ServeResponse] = []
+        assignments: list[int] = []
+        for i, req in enumerate(ordered):
+            if self.policy == "round-robin":
+                replica = i % self.n_replicas
+            else:  # least-loaded: earliest projected free time wins
+                replica = min(range(self.n_replicas), key=lambda j: (free_at[j], j))
+            engine = self.engines[replica]
+            result = engine.platform.serve(engine.prepare(req.task))
+            start = max(req.arrival_s, free_at[replica])
+            finish = start + result.latency_s
+            free_at[replica] = finish
+            assignments.append(replica)
+            responses.append(
+                ServeResponse(
+                    request=req,
+                    result=result,
+                    queue_delay_s=start - req.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            )
+        return FleetReport(
+            platform=self.platform_name,
+            responses=tuple(responses),
+            slo_ms=slo_ms,
+            policy=self.policy,
+            assignments=tuple(assignments),
+            replicas=self.n_replicas,
+        )

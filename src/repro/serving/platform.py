@@ -1,0 +1,146 @@
+"""Platform protocol and the decorator-based platform registry.
+
+A serving platform splits its work into the two phases every real
+deployment has (Brainwave and Spartus both structure serving this way):
+
+* :meth:`Platform.prepare` — the one-time compile/initialize phase.  For
+  Plasticine this is the expensive part: pick loop parameters, build the
+  loop-based program, map it onto the chip, and cycle-simulate one
+  request.  For the analytical baselines it precomputes the per-step
+  model evaluation.  The output is a :class:`PreparedModel`.
+* :meth:`Platform.serve` — the steady-state per-request phase: turn a
+  prepared model into a :class:`~repro.serving.result.ServingResult`
+  without redoing any compile work.
+
+Platforms self-register under a string key::
+
+    @register_platform("myaccel")
+    class MyAccelPlatform(Platform):
+        ...
+
+    engine = ServingEngine("myaccel")
+
+so new accelerator models plug into the engine, the CLI, and the fleet
+scheduler without touching any of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+from repro.errors import ServingError
+from repro.serving.result import ServingResult
+from repro.workloads.deepbench import RNNTask
+
+__all__ = [
+    "PreparedModel",
+    "Platform",
+    "register_platform",
+    "get_platform",
+    "available_platforms",
+]
+
+
+@dataclass(frozen=True)
+class PreparedModel:
+    """The output of a platform's one-time compile/initialize phase.
+
+    Attributes:
+        platform: Registry key of the platform that prepared it.
+        task: The task it was compiled for.
+        state: Opaque platform-specific compiled state (mapped design,
+            simulation, precomputed model outputs, ...).  Only the
+            owning platform interprets it.
+        notes: Human-readable remarks from the compile phase.
+    """
+
+    platform: str
+    task: RNNTask
+    state: Any = field(repr=False, compare=False)
+    notes: tuple[str, ...] = ()
+
+
+class Platform(ABC):
+    """A registered serving platform: compile once, serve many."""
+
+    #: Registry key; set by :func:`register_platform`.
+    name: str = "?"
+
+    @abstractmethod
+    def prepare(self, task: RNNTask) -> PreparedModel:
+        """One-time compile/initialize phase for ``task``."""
+
+    @abstractmethod
+    def serve(self, prepared: PreparedModel) -> ServingResult:
+        """Steady-state phase: serve one request from a prepared model."""
+
+    def serve_task(self, task: RNNTask) -> ServingResult:
+        """Convenience: prepare-then-serve in one call (no caching)."""
+        return self.serve(self.prepare(task))
+
+    def _check_prepared(self, prepared: PreparedModel) -> None:
+        """Guard against handing one platform another's compiled state."""
+        if prepared.platform != self.name:
+            raise ServingError(
+                f"prepared model was compiled for platform "
+                f"{prepared.platform!r}, not {self.name!r}"
+            )
+
+
+_REGISTRY: dict[str, type[Platform]] = {}
+
+P = TypeVar("P", bound=type[Platform])
+
+
+def register_platform(name: str) -> Callable[[P], P]:
+    """Class decorator: register a :class:`Platform` under ``name``."""
+
+    def decorate(cls: P) -> P:
+        if not (isinstance(cls, type) and issubclass(cls, Platform)):
+            raise ServingError(f"@register_platform({name!r}) needs a Platform subclass")
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ServingError(
+                f"platform {name!r} already registered by {existing.__name__}"
+            )
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_platforms() -> tuple[str, ...]:
+    """Sorted keys of every registered platform."""
+    _ensure_builtin()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_platform(name: str, **options: Any) -> Platform:
+    """Instantiate the platform registered under ``name``.
+
+    Keyword options are forwarded to the platform constructor (e.g.
+    ``get_platform("plasticine", bits=8)``).
+    """
+    _ensure_builtin()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ServingError(
+            f"unknown platform {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return cls(**options)
+
+
+def _ensure_builtin() -> None:
+    # The built-in platform classes register at import time; importing
+    # lazily here keeps `import repro.serving.platform` light and free of
+    # mapper/simulator dependencies.
+    import repro.serving.platforms  # noqa: F401

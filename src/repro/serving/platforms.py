@@ -1,0 +1,204 @@
+"""Built-in platforms: Plasticine plus the CPU/GPU/Brainwave baselines.
+
+Each class adapts one of the existing performance models to the
+prepare/serve split of :class:`~repro.serving.platform.Platform`.  The
+numbers are identical to the legacy ``serve_on_*`` functions — the same
+code paths run, just partitioned so that everything expensive happens
+exactly once per (platform, task) in ``prepare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.brainwave import BrainwaveServingModel, BrainwaveStepTrace
+from repro.baselines.cpu import CPUServingModel
+from repro.baselines.gpu import GPUServingModel
+from repro.dse.search import build_task_program
+from repro.dse.tuner import paper_params, tune
+from repro.mapping.mapper import MappedDesign, map_rnn_program
+from repro.plasticine.area_power import ActivityProfile, AreaPowerModel
+from repro.plasticine.chip import PlasticineConfig
+from repro.plasticine.simulator import SimulationResult, simulate_pipeline
+from repro.rnn.lstm_loop import LoopParams
+from repro.serving.platform import Platform, PreparedModel, register_platform
+from repro.serving.result import ServingResult
+from repro.workloads.deepbench import RNNTask
+
+__all__ = [
+    "PlasticinePlatform",
+    "BrainwavePlatform",
+    "CPUPlatform",
+    "GPUPlatform",
+]
+
+
+@dataclass(frozen=True)
+class _CompiledPlasticine:
+    """Plasticine compiled state: the mapped design and its simulation."""
+
+    chip: PlasticineConfig
+    params: LoopParams
+    design: MappedDesign = field(repr=False)
+    simulation: SimulationResult = field(repr=False)
+    power_w: float
+
+
+@register_platform("plasticine")
+class PlasticinePlatform(Platform):
+    """Map the loop-based design and run the cycle-level simulator.
+
+    ``prepare`` runs the whole compile pipeline — parameter selection
+    (paper Table 7 or the DSE), program construction, mapping/placement,
+    and the cycle simulation — so ``serve`` only assembles the result row.
+    """
+
+    def __init__(
+        self,
+        chip: PlasticineConfig | None = None,
+        *,
+        params: LoopParams | None = None,
+        bits: int = 8,
+        use_dse: bool = False,
+    ) -> None:
+        self.chip = chip or PlasticineConfig.rnn_serving()
+        self.params = params
+        self.bits = bits
+        self.use_dse = use_dse
+
+    def _resolve_params(self, task: RNNTask) -> LoopParams:
+        if self.params is not None:
+            return self.params
+        params = None if self.use_dse else paper_params(task)
+        if params is None:
+            params = tune(task, self.chip, bits=self.bits).best_params
+        return params
+
+    def prepare(self, task: RNNTask) -> PreparedModel:
+        chip = self.chip
+        params = self._resolve_params(task)
+        prog = build_task_program(task, params)
+        design = map_rnn_program(prog, chip, bits=self.bits)
+        sim = simulate_pipeline(design.graph)
+        power_model = AreaPowerModel()
+        activity = ActivityProfile(
+            pcu_busy=min(sim.average_busy_units(design.graph, "pcu"), chip.n_pcu),
+            pmu_busy=min(sim.average_busy_units(design.graph, "pmu"), chip.n_pmu),
+        )
+        notes = list(design.resources.notes)
+        if not design.resources.fits_capacity:
+            notes.append(
+                f"weights exceed on-chip capacity "
+                f"({design.resources.bytes_used / 2**20:.1f} MB > "
+                f"{design.resources.onchip_bytes / 2**20:.1f} MB)"
+            )
+        state = _CompiledPlasticine(
+            chip=chip,
+            params=params,
+            design=design,
+            simulation=sim,
+            power_w=power_model.power_w(chip, activity),
+        )
+        return PreparedModel(
+            platform=self.name, task=task, state=state, notes=tuple(notes)
+        )
+
+    def serve(self, prepared: PreparedModel) -> ServingResult:
+        self._check_prepared(prepared)
+        state: _CompiledPlasticine = prepared.state
+        sim = state.simulation
+        latency_s = sim.total_cycles / (state.chip.clock_ghz * 1e9)
+        return ServingResult(
+            platform=self.name,
+            task=prepared.task,
+            latency_s=latency_s,
+            effective_tflops=prepared.task.effective_tflops(latency_s),
+            power_w=state.power_w,
+            cycles_per_step=sim.cycles_per_step + sim.step_overhead,
+            design=state.design,
+            simulation=sim,
+            notes=prepared.notes,
+        )
+
+
+@dataclass(frozen=True)
+class _AnalyticalState:
+    """Baseline compiled state: the model plus its precomputed latency."""
+
+    model: object = field(repr=False)
+    latency_s: float
+    effective_tflops: float
+    cycles_per_step: int | None = None
+
+
+@register_platform("brainwave")
+class BrainwavePlatform(Platform):
+    """The Brainwave instruction-level model (Section 3.2)."""
+
+    def __init__(self, model: BrainwaveServingModel | None = None) -> None:
+        self.model = model or BrainwaveServingModel()
+
+    def prepare(self, task: RNNTask) -> PreparedModel:
+        trace: BrainwaveStepTrace = self.model.step_trace(task)
+        state = _AnalyticalState(
+            model=self.model,
+            latency_s=self.model.latency_seconds(task),
+            effective_tflops=self.model.effective_tflops(task),
+            cycles_per_step=trace.step_cycles,
+        )
+        notes = (
+            f"{trace.mvm_instructions} MVM + {trace.mfu_instructions} MFU instrs/step",
+        )
+        return PreparedModel(platform=self.name, task=task, state=state, notes=notes)
+
+    def serve(self, prepared: PreparedModel) -> ServingResult:
+        self._check_prepared(prepared)
+        state: _AnalyticalState = prepared.state
+        return ServingResult(
+            platform=self.name,
+            task=prepared.task,
+            latency_s=state.latency_s,
+            effective_tflops=state.effective_tflops,
+            cycles_per_step=state.cycles_per_step,
+            notes=prepared.notes,
+        )
+
+
+class _ProcessorPlatform(Platform):
+    """Shared prepare/serve for the CPU and GPU streaming models."""
+
+    model: CPUServingModel | GPUServingModel
+
+    def prepare(self, task: RNNTask) -> PreparedModel:
+        state = _AnalyticalState(
+            model=self.model,
+            latency_s=self.model.latency_seconds(task),
+            effective_tflops=self.model.effective_tflops(task),
+        )
+        return PreparedModel(platform=self.name, task=task, state=state)
+
+    def serve(self, prepared: PreparedModel) -> ServingResult:
+        self._check_prepared(prepared)
+        state: _AnalyticalState = prepared.state
+        return ServingResult(
+            platform=self.name,
+            task=prepared.task,
+            latency_s=state.latency_s,
+            effective_tflops=state.effective_tflops,
+        )
+
+
+@register_platform("cpu")
+class CPUPlatform(_ProcessorPlatform):
+    """The Xeon Skylake / TensorFlow streaming model."""
+
+    def __init__(self, model: CPUServingModel | None = None) -> None:
+        self.model = model or CPUServingModel()
+
+
+@register_platform("gpu")
+class GPUPlatform(_ProcessorPlatform):
+    """The Tesla V100 / cuDNN streaming model."""
+
+    def __init__(self, model: GPUServingModel | None = None) -> None:
+        self.model = model or GPUServingModel()

@@ -1,0 +1,45 @@
+"""The uniform per-request serving outcome, shared by every platform.
+
+:class:`ServingResult` is the row every platform produces for Table 6 —
+latency, effective TFLOPS, and (where modelled) power — regardless of
+whether it came from the cycle-level Plasticine simulator or one of the
+analytical baseline models.  It used to live in :mod:`repro.api`; it now
+sits under :mod:`repro.serving` so the platform registry and the engine
+can use it without importing the legacy API module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.workloads.deepbench import RNNTask
+
+if TYPE_CHECKING:  # only for annotations; avoids eager heavy imports
+    from repro.mapping.mapper import MappedDesign
+    from repro.plasticine.simulator import SimulationResult
+
+__all__ = ["ServingResult"]
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Uniform serving outcome across platforms."""
+
+    platform: str
+    task: RNNTask
+    latency_s: float
+    effective_tflops: float
+    power_w: float | None = None
+    cycles_per_step: int | None = None
+    design: "MappedDesign | None" = field(default=None, repr=False, compare=False)
+    simulation: "SimulationResult | None" = field(default=None, repr=False, compare=False)
+    notes: tuple[str, ...] = ()
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    def speedup_over(self, other: "ServingResult") -> float:
+        """How much faster *this* platform is than ``other`` (>1 = faster)."""
+        return other.latency_s / self.latency_s

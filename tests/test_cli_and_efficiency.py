@@ -95,6 +95,37 @@ class TestCLI:
         assert main(["serve", "lstm", "333", "7"]) == 0
         assert "lstm-h333-t7" in capsys.readouterr().out
 
+    def test_serve_single_platform(self, capsys):
+        assert main(["serve", "lstm", "512", "--platform", "brainwave"]) == 0
+        out = capsys.readouterr().out
+        assert "brainwave" in out
+        assert "plasticine" not in out
+
+    def test_serve_defaults_without_task(self, capsys):
+        # The CI smoke invocation: platform only, default lstm-512 task.
+        assert main(["serve", "--platform", "plasticine"]) == 0
+        assert "lstm-h512-t25" in capsys.readouterr().out
+
+    def test_serve_unknown_platform_errors(self, capsys):
+        assert main(["serve", "lstm", "512", "--platform", "tpu"]) == 1
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_serve_stream_mode(self, capsys):
+        assert main(
+            ["serve", "lstm", "512", "--platform", "gpu", "--stream",
+             "--rate", "200", "--requests", "50", "--slo-ms", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P99 ms" in out and "200 req/s" in out
+
+    def test_serve_stream_fleet(self, capsys):
+        assert main(
+            ["serve", "lstm", "512", "--platform", "brainwave", "--stream",
+             "--rate", "500", "--requests", "50", "--replicas", "2",
+             "--policy", "round-robin"]
+        ) == 0
+        assert "2 replica(s), round-robin" in capsys.readouterr().out
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
