@@ -1,0 +1,90 @@
+"""Scheduler comparison on a bursty multi-tenant workload.
+
+The acceptance bar for the traffic/scheduling subsystem: on a bursty
+two-tenant workload (MMPP interactive bursts with a tight SLO over a
+steady bulk tenant with a relaxed one), earliest-deadline-first must
+attain at least as many SLOs as FIFO — deadline awareness cannot lose to
+deadline blindness.  The benchmark renders the full comparison across
+every registered scheduler and also times the event loop itself to keep
+the O(n log n) stream simulation honest.
+"""
+
+import importlib.util
+import time
+from pathlib import Path
+
+from repro.harness.report import format_table
+from repro.serving import ServingEngine, available_schedulers, poisson_arrivals
+from repro.workloads.deepbench import task
+
+# The benchmark gates the exact workload the example narrates, so the
+# two can never drift apart: load build_workload() from the example.
+_EXAMPLE = Path(__file__).parent.parent / "examples" / "multi_tenant_serving.py"
+_spec = importlib.util.spec_from_file_location("multi_tenant_serving", _EXAMPLE)
+_example = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_example)
+
+INTERACTIVE_SLO_MS = _example.INTERACTIVE_SLO_MS
+BULK_SLO_MS = _example.BULK_SLO_MS
+_bursty_workload = _example.build_workload
+
+
+def test_edf_attains_at_least_fifo(artifact):
+    workload = _bursty_workload()
+    attainment = {}
+    rows = []
+    for name in available_schedulers():
+        report = ServingEngine("gpu").serve_stream(workload, scheduler=name)
+        attainment[name] = report.slo_attainment
+        tenants = report.per_tenant()
+        rows.append(
+            [
+                name,
+                f"{100 * report.slo_attainment:.1f}%",
+                round(tenants["interactive"].p99_ms, 2),
+                round(tenants["bulk"].p99_ms, 2),
+            ]
+        )
+    artifact(
+        "scheduler_comparison",
+        format_table(
+            ["scheduler", "SLO attained", "interactive P99 ms", "bulk P99 ms"],
+            rows,
+            title=(
+                "Bursty two-tenant workload on one GPU "
+                f"(interactive {INTERACTIVE_SLO_MS:.0f} ms / "
+                f"bulk {BULK_SLO_MS:.0f} ms SLOs)"
+            ),
+        ),
+    )
+    assert attainment["edf"] >= attainment["fifo"], (
+        f"EDF attained {attainment['edf']:.3f} < FIFO {attainment['fifo']:.3f} "
+        f"on a bursty deadline-tagged workload"
+    )
+    # The burst-heavy workload must actually separate the disciplines.
+    assert attainment["edf"] > 0.95
+    assert attainment["fifo"] < attainment["edf"]
+
+
+def test_event_loop_throughput(artifact):
+    # One warm engine, 20k requests: the event loop (heap + scheduler
+    # ops) should push tens of thousands of requests/second of simulated
+    # traffic — it is O(n log n) bookkeeping over a cached service time.
+    t = task("lstm", 512, 25)
+    engine = ServingEngine("brainwave")
+    engine.serve(t)  # compile outside the timed region
+    arrivals = poisson_arrivals(t, rate_per_s=5000.0, n_requests=20_000, seed=3)
+    t0 = time.perf_counter()
+    report = engine.serve_stream(arrivals, slo_ms=5.0, scheduler="edf")
+    elapsed = time.perf_counter() - t0
+    throughput = report.n_requests / elapsed
+    artifact(
+        "event_loop_throughput",
+        format_table(
+            ["requests", "seconds", "requests/s"],
+            [[report.n_requests, elapsed, round(throughput)]],
+            title="Discrete-event loop throughput (brainwave, EDF)",
+        ),
+    )
+    assert report.n_requests == 20_000
+    assert throughput > 50_000, f"event loop too slow: {throughput:.0f} req/s"

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Multi-tenant serving: bursty traffic, per-request SLOs, schedulers.
+
+Real RNN serving mixes tenants on shared accelerators: an interactive
+translation tenant (tight 5 ms SLO, bursty keystroke traffic) rides
+alongside a bulk scoring tenant (big model, relaxed 100 ms SLO, steady
+rate).  A FIFO queue lets bulk requests head-of-line-block the
+interactive bursts; deadline- and priority-aware schedulers serve the
+urgent work first and win back the SLO without hurting the bulk tenant.
+
+This example builds that workload with the traffic combinators (MMPP
+bursts + Poisson background, interleaved by ``mix``), runs it through
+one GPU engine under every registered scheduler, and prints overall and
+per-tenant SLO attainment; it finishes by scaling the best scheduler
+across a two-replica fleet.
+
+Run: python examples/multi_tenant_serving.py
+"""
+
+from repro.harness.report import format_table
+from repro.serving import (
+    Fleet,
+    ServingEngine,
+    available_schedulers,
+    mix,
+    mmpp_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.deepbench import task
+
+INTERACTIVE_SLO_MS = 5.0
+BULK_SLO_MS = 100.0
+
+
+def build_workload():
+    """Two tenants on one accelerator: bursty interactive + steady bulk."""
+    interactive = task("lstm", 512, 25)  # per-keystroke translate step
+    bulk = task("lstm", 2048, 25)  # heavyweight batch scoring model
+    bursts = mmpp_arrivals(
+        interactive,
+        quiet_rate_per_s=150,
+        burst_rate_per_s=1000,
+        quiet_dwell_s=0.3,
+        burst_dwell_s=0.04,
+        n_requests=800,
+        seed=7,
+        tenant="interactive",
+        priority=1,
+        slo_ms=INTERACTIVE_SLO_MS,
+    )
+    background = poisson_arrivals(
+        bulk,
+        rate_per_s=60,
+        n_requests=400,
+        seed=21,
+        tenant="bulk",
+        priority=0,
+        slo_ms=BULK_SLO_MS,
+    )
+    return mix(bursts, background)
+
+
+def main() -> None:
+    workload = build_workload()
+
+    rows = []
+    for name in available_schedulers():
+        report = ServingEngine("gpu").serve_stream(workload, scheduler=name)
+        tenants = report.per_tenant()
+        rows.append(
+            [
+                name,
+                f"{100 * report.slo_attainment:.1f}%",
+                round(tenants["interactive"].p99_ms, 2),
+                f"{100 * tenants['interactive'].slo_attainment:.1f}%",
+                round(tenants["bulk"].p99_ms, 2),
+                f"{100 * tenants['bulk'].slo_attainment:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "SLO attained", "interactive P99 ms", "interactive SLO",
+             "bulk P99 ms", "bulk SLO"],
+            rows,
+            title=(
+                f"Two tenants on one GPU (interactive {INTERACTIVE_SLO_MS:.0f} ms "
+                f"SLO, bulk {BULK_SLO_MS:.0f} ms SLO)"
+            ),
+        )
+    )
+    print(
+        "\nFIFO lets 2.6 ms bulk requests head-of-line-block the interactive "
+        "bursts; EDF serves the tighter deadlines first and priority pins "
+        "the interactive class outright — both recover the 5 ms SLO while "
+        "the bulk tenant keeps its relaxed one."
+    )
+
+    # -- scale-out: the same workload over a small fleet ------------------
+    fleet_rows = []
+    for replicas in (1, 2):
+        fleet = Fleet("gpu", replicas=replicas, policy="least-loaded")
+        report = fleet.serve_stream(workload, scheduler="edf")
+        tenants = report.per_tenant()
+        fleet_rows.append(
+            [
+                replicas,
+                f"{100 * report.slo_attainment:.1f}%",
+                round(tenants["interactive"].p99_ms, 2),
+                round(tenants["bulk"].p99_ms, 2),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["GPU replicas", "SLO attained", "interactive P99 ms", "bulk P99 ms"],
+            fleet_rows,
+            title="EDF over a least-loaded fleet",
+        )
+    )
+    print(
+        "\nA second replica absorbs the bursts entirely: every deadline "
+        "is met with headroom to spare."
+    )
+
+
+if __name__ == "__main__":
+    main()

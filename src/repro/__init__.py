@@ -12,7 +12,8 @@ The package is organized bottom-up:
 * :mod:`repro.dse` — design-space exploration over (hu, ru, rv, hv).
 * :mod:`repro.workloads` — the DeepBench task suite.
 * :mod:`repro.serving` — the pluggable serving engine: platform
-  registry, compile-once sessions, request streams, and fleets.
+  registry, compile-once sessions, multi-tenant traffic generation,
+  pluggable schedulers, and fleets.
 * :mod:`repro.analysis` — fragmentation / footprint / utilization studies.
 * :mod:`repro.harness` — regenerates every table and figure of the paper.
 
@@ -52,6 +53,16 @@ _SERVING_NAMES = (
     "get_platform",
     "available_platforms",
     "poisson_arrivals",
+    "uniform_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "mix",
+    "record_trace",
+    "replay_trace",
+    "Scheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
 )
 
 __all__ = ["__version__", *_API_NAMES, *_SERVING_NAMES]

@@ -49,7 +49,6 @@ def _cmd_claims(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    from repro.harness.report import format_table
     from repro.serving import available_platforms
     from repro.workloads.deepbench import task
 
@@ -58,6 +57,125 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     if args.stream:
         return _serve_stream_table(args, t, names)
     return _serve_once_table(t, names)
+
+
+#: Fallback sequence length for --mix specs naming a task outside the
+#: DeepBench suite without an explicit timesteps component.
+_MIX_DEFAULT_TIMESTEPS = 25
+
+
+def _parse_mix(spec: str):
+    """Parse ``--mix`` specs: ``kind:hidden[:timesteps][@slo_ms][^prio]``.
+
+    Returns a list of (task, slo_ms, priority) tuples, one per
+    comma-separated entry.  Tasks in the DeepBench suite resolve their
+    timesteps automatically; anything else defaults to 25 timesteps.
+    """
+    from repro.errors import ServingError, WorkloadError
+    from repro.workloads.deepbench import RNNTask, task
+
+    entries = []
+    for part in spec.split(","):
+        body = part.strip()
+        if not body:
+            continue
+        try:
+            priority = 0
+            slo_ms = None
+            if "^" in body:
+                body, _, prio_text = body.rpartition("^")
+                priority = int(prio_text)
+            if "@" in body:
+                body, _, slo_text = body.rpartition("@")
+                slo_ms = float(slo_text)
+            fields = body.split(":")
+            if len(fields) not in (2, 3):
+                raise ValueError("wrong field count")
+            kind, hidden = fields[0], int(fields[1])
+            timesteps = int(fields[2]) if len(fields) == 3 else None
+        except ValueError as exc:
+            raise ServingError(
+                f"bad --mix entry {part!r}; expected "
+                f"kind:hidden[:timesteps][@slo_ms][^priority]"
+            ) from exc
+        try:
+            t = task(kind, hidden, timesteps)
+        except WorkloadError:
+            t = RNNTask(kind, hidden, _MIX_DEFAULT_TIMESTEPS)
+        entries.append((t, slo_ms, priority))
+    if not entries:
+        raise ServingError(f"--mix {spec!r} names no tasks")
+    return entries
+
+
+def _build_stream(args: argparse.Namespace, default_task):
+    """Build the arrival stream for --stream mode.
+
+    Returns ``(arrivals, description)``.  Precedence: --trace replays a
+    recorded stream verbatim; --mix interleaves one Poisson tenant per
+    spec (splitting --rate and --requests evenly); otherwise a single
+    Poisson stream of the positional task.
+    """
+    from repro.serving import mix, poisson_arrivals, record_trace
+    from repro.serving.traffic import replay_trace
+
+    if args.trace:
+        arrivals = replay_trace(args.trace)
+        desc = f"trace {args.trace}"
+    elif args.mix:
+        specs = _parse_mix(args.mix)
+        per_rate = args.rate / len(specs)
+        per_n = max(1, args.requests // len(specs))
+        streams = [
+            poisson_arrivals(
+                t,
+                rate_per_s=per_rate,
+                n_requests=per_n,
+                seed=args.seed + i,
+                tenant=t.name,
+                priority=priority,
+                slo_ms=slo_ms,
+            )
+            for i, (t, slo_ms, priority) in enumerate(specs)
+        ]
+        arrivals = mix(*streams)
+        desc = f"{len(specs)}-tenant mix at {args.rate:.0f} req/s"
+    else:
+        arrivals = poisson_arrivals(
+            default_task,
+            rate_per_s=args.rate,
+            n_requests=args.requests,
+            seed=args.seed,
+            tenant=default_task.name,
+        )
+        desc = f"{default_task.name} at {args.rate:.0f} req/s"
+    if args.record_trace:
+        record_trace(arrivals, args.record_trace)
+    return arrivals, desc
+
+
+def _tenant_breakdown_table(name: str, report, slo_ms: float) -> str:
+    from repro.harness.report import format_table
+
+    rows = []
+    for tenant, sub in report.per_tenant().items():
+        slos = {r.request.slo_ms for r in sub.responses}
+        tenant_slo = slos.pop() if len(slos) == 1 and None not in slos else slo_ms
+        rows.append(
+            [
+                tenant,
+                sub.n_requests,
+                round(sub.p50_ms, 3),
+                round(sub.p99_ms, 3),
+                tenant_slo,
+                f"{100.0 * sub.slo_attainment:.1f}%",
+            ]
+        )
+    return format_table(
+        ["tenant", "requests", "P50 ms", "P99 ms", "SLO ms", "SLO attained"],
+        rows,
+        title=f"Per-tenant breakdown ({name})",
+    )
 
 
 def _serve_once_table(t, names: list[str]) -> str:
@@ -86,42 +204,54 @@ def _serve_once_table(t, names: list[str]) -> str:
 def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     from repro.errors import ServingError
     from repro.harness.report import format_table
-    from repro.serving import Fleet, ServingEngine, poisson_arrivals
+    from repro.serving import Fleet, ServingEngine
 
     if args.replicas < 1:
         raise ServingError("--replicas must be >= 1")
-    arrivals = poisson_arrivals(
-        t, rate_per_s=args.rate, n_requests=args.requests, seed=args.seed
-    )
+    arrivals, desc = _build_stream(args, t)
     rows = []
+    breakdowns = []
     for name in names:
         if args.replicas > 1:
             server = Fleet(name, replicas=args.replicas, policy=args.policy)
         else:
             server = ServingEngine(name)
-        report = server.serve_stream(arrivals, slo_ms=args.slo_ms)
+        report = server.serve_stream(
+            arrivals, slo_ms=args.slo_ms, scheduler=args.scheduler
+        )
+        mean_service_ms = (
+            sum(r.service_s for r in report.responses) * 1e3 / report.n_requests
+        )
         rows.append(
             [
                 name,
-                report.responses[0].service_s * 1e3,
+                mean_service_ms,
                 report.p50_ms,
                 report.p99_ms,
                 report.mean_queue_delay_ms,
                 round(report.max_rate_per_s, 1),
+                f"{100.0 * report.slo_attainment:.1f}%",
                 "SATURATED" if report.saturated else
                 ("yes" if report.slo_attained else "NO"),
             ]
         )
+        if len(report.tenants) > 1:
+            breakdowns.append(_tenant_breakdown_table(name, report, args.slo_ms))
     title = (
-        f"Streaming {t.name} at {args.rate:.0f} req/s "
-        f"({args.requests} requests, {args.replicas} replica(s), {args.policy})"
+        f"Streaming {desc} "
+        f"({len(arrivals)} requests, {args.replicas} replica(s), {args.policy}, "
+        f"{args.scheduler})"
     )
-    return format_table(
+    main_table = format_table(
         ["platform", "service ms", "P50 ms", "P99 ms", "queue ms", "max req/s",
-         f"P99<={args.slo_ms}ms"],
+         "SLO attained", f"P99<={args.slo_ms}ms"],
         rows,
         title=title,
     )
+    parts = [main_table, *breakdowns]
+    if args.record_trace:
+        parts.append(f"[trace recorded: {args.record_trace}]")
+    return "\n\n".join(parts)
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
@@ -204,7 +334,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy",
         choices=["round-robin", "least-loaded"],
         default="least-loaded",
-        help="fleet scheduling policy (stream mode)",
+        help="fleet dispatch policy (stream mode)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=["fifo", "priority", "edf", "sjf", "coalesce"],
+        default="fifo",
+        help="per-replica queue discipline (stream mode)",
+    )
+    serve.add_argument(
+        "--mix",
+        help="multi-tenant workload: comma-separated "
+        "kind:hidden[:timesteps][@slo_ms][^priority] specs; --rate and "
+        "--requests are split evenly across tenants",
+    )
+    serve.add_argument(
+        "--trace",
+        help="replay a JSONL trace recorded with --record-trace "
+        "(overrides --mix and the generated stream)",
+    )
+    serve.add_argument(
+        "--record-trace",
+        help="write the generated arrival stream to a JSONL trace file",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -1,4 +1,4 @@
-"""Pluggable serving engine: platform registry, sessions, streams, fleets.
+"""Pluggable serving engine: platforms, traffic, schedulers, fleets.
 
 This package is the serving surface of the reproduction, structured the
 way real accelerator deployments are:
@@ -9,15 +9,22 @@ way real accelerator deployments are:
 * :mod:`repro.serving.platforms` — the four built-in platforms:
   Plasticine (mapper + cycle simulator) and the CPU / GPU / Brainwave
   analytical models.
+* :mod:`repro.serving.traffic` — composable arrival processes (Poisson,
+  uniform, MMPP bursty, diurnal ramp, JSONL trace record/replay) and the
+  :func:`mix` combinator for multi-tenant workloads.
+* :mod:`repro.serving.scheduler` — the :class:`Scheduler` registry:
+  FIFO, strict priority, EDF, SJF, and compile-cache-aware coalescing.
+* :mod:`repro.serving.events` — the shared heap-based discrete-event
+  loop behind every stream simulation.
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, one
   accelerator's compile-once session with ``serve`` / ``serve_batch`` /
-  ``serve_stream`` (FIFO queueing + SLO accounting).
+  ``serve_stream`` (queueing + SLO/tenant/priority accounting).
 * :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
-  round-robin or least-loaded dispatcher.
+  round-robin or least-loaded dispatcher, each with its own scheduler.
 
 Quickstart::
 
-    from repro.serving import ServingEngine, poisson_arrivals
+    from repro.serving import ServingEngine, mix, poisson_arrivals
     from repro.workloads import deepbench
 
     task = deepbench.task("lstm", 1024, 25)
@@ -39,6 +46,7 @@ from repro.serving.engine import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.serving.events import run_stream
 from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
 from repro.serving.platform import (
     Platform,
@@ -54,6 +62,24 @@ from repro.serving.platforms import (
     PlasticinePlatform,
 )
 from repro.serving.result import ServingResult
+from repro.serving.scheduler import (
+    CoalescingScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    Scheduler,
+    SJFScheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.serving.traffic import (
+    diurnal_arrivals,
+    mix,
+    mmpp_arrivals,
+    record_trace,
+    replay_trace,
+)
 
 __all__ = [
     "ServingResult",
@@ -71,8 +97,23 @@ __all__ = [
     "ServeResponse",
     "StreamReport",
     "CacheStats",
+    "run_stream",
     "poisson_arrivals",
     "uniform_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "mix",
+    "record_trace",
+    "replay_trace",
+    "Scheduler",
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "EDFScheduler",
+    "SJFScheduler",
+    "CoalescingScheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
     "Fleet",
     "FleetReport",
     "SCHEDULING_POLICIES",

@@ -9,9 +9,11 @@ one accelerator running that loop:
   selection, mapping, cycle simulation) runs once and every later
   request for the same task reuses it;
 * ``serve`` / ``serve_batch`` for one-off and grouped requests;
-* ``serve_stream`` — a FIFO single-server queue over timestamped
-  arrivals, reporting per-request queueing delay and SLO attainment
-  (the simulation that used to live in ``examples/serving_latency.py``).
+* ``serve_stream`` — a heap-based discrete-event simulation of a
+  single-server queue over timestamped arrivals (see
+  :mod:`repro.serving.events`), with a pluggable queue discipline
+  (:mod:`repro.serving.scheduler`) and per-request queueing delay,
+  SLO, tenant, and priority accounting.
 
 Example::
 
@@ -20,8 +22,9 @@ Example::
     again = engine.serve(task)            # cache hit: no re-mapping
     report = engine.serve_stream(poisson_arrivals(task, rate_per_s=400,
                                                   n_requests=2000),
-                                 slo_ms=5.0)
+                                 slo_ms=5.0, scheduler="edf")
     print(report.p99_ms, report.slo_miss_rate)
+    print({t: r.p99_ms for t, r in report.per_tenant().items()})
 """
 
 from __future__ import annotations
@@ -29,11 +32,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServingError
+from repro.serving.events import run_stream
 from repro.serving.platform import Platform, PreparedModel, get_platform
+from repro.serving.request import ServeRequest, ServeResponse
 from repro.serving.result import ServingResult
+from repro.serving.scheduler import Scheduler, make_scheduler
+from repro.serving.traffic import poisson_arrivals, uniform_arrivals
 from repro.workloads.deepbench import RNNTask
 
 __all__ = [
@@ -45,44 +52,6 @@ __all__ = [
     "poisson_arrivals",
     "uniform_arrivals",
 ]
-
-
-@dataclass(frozen=True)
-class ServeRequest:
-    """One serving request: a task plus its arrival timestamp."""
-
-    task: RNNTask
-    arrival_s: float = 0.0
-    request_id: int = 0
-
-    def __post_init__(self) -> None:
-        if self.arrival_s < 0:
-            raise ServingError("arrival_s must be >= 0")
-
-
-@dataclass(frozen=True)
-class ServeResponse:
-    """The engine's answer: the result plus the request's timeline."""
-
-    request: ServeRequest
-    result: ServingResult
-    queue_delay_s: float
-    start_s: float
-    finish_s: float
-
-    @property
-    def service_s(self) -> float:
-        """Time on the accelerator (the platform's serving latency)."""
-        return self.result.latency_s
-
-    @property
-    def sojourn_s(self) -> float:
-        """Queueing delay + service: what the user experiences."""
-        return self.finish_s - self.request.arrival_s
-
-    @property
-    def sojourn_ms(self) -> float:
-        return self.sojourn_s * 1e3
 
 
 @dataclass
@@ -112,11 +81,17 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class StreamReport:
-    """Aggregate outcome of a request stream against an SLO."""
+    """Aggregate outcome of a request stream against an SLO.
+
+    Responses are ordered by arrival, whatever order the scheduler
+    actually served them in; ``per_tenant()`` and ``per_priority()``
+    slice the same stream into per-class sub-reports.
+    """
 
     platform: str
     responses: tuple[ServeResponse, ...] = field(repr=False)
     slo_ms: float | None = None
+    scheduler: str = "fifo"
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -171,59 +146,70 @@ class StreamReport:
         """True when arrivals outpace what the server can drain."""
         return self.offered_rate_per_s >= self.max_rate_per_s
 
+    def _effective_slo_ms(self, response: ServeResponse) -> float:
+        slo = response.request.effective_slo_ms(self.slo_ms)
+        if slo is None:
+            raise ServingError("no SLO configured for this stream")
+        return slo
+
     @property
     def slo_miss_rate(self) -> float:
-        """Fraction of requests whose sojourn exceeded the SLO."""
-        if self.slo_ms is None:
-            raise ServingError("no SLO configured for this stream")
-        misses = sum(1 for r in self.responses if r.sojourn_ms > self.slo_ms)
+        """Fraction of requests whose sojourn exceeded their SLO.
+
+        Each request is judged against its own ``slo_ms`` when set,
+        falling back to the stream-level SLO otherwise.
+        """
+        misses = sum(
+            1
+            for r in self.responses
+            if r.sojourn_ms > self._effective_slo_ms(r)
+        )
         return misses / self.n_requests
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests that met their SLO (1 - miss rate)."""
+        return 1.0 - self.slo_miss_rate
 
     @property
     def slo_attained(self) -> bool:
         return self.slo_ms is not None and self.p99_ms <= self.slo_ms
 
+    # -- multi-tenant / multi-class breakdowns ---------------------------
 
-def poisson_arrivals(
-    task: RNNTask,
-    *,
-    rate_per_s: float,
-    n_requests: int,
-    seed: int = 0,
-) -> tuple[ServeRequest, ...]:
-    """A Poisson request stream for one task (exponential inter-arrivals).
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Sorted tenant names present in the stream."""
+        return tuple(sorted({r.request.tenant for r in self.responses}))
 
-    The same seed at two different rates yields time-scaled copies of the
-    same stream, which keeps rate sweeps comparable.
-    """
-    if rate_per_s <= 0:
-        raise ServingError("rate_per_s must be positive")
-    if n_requests < 1:
-        raise ServingError("n_requests must be >= 1")
-    import numpy as np
+    @property
+    def priorities(self) -> tuple[int, ...]:
+        """Sorted priority classes present in the stream."""
+        return tuple(sorted({r.request.priority for r in self.responses}))
 
-    rng = np.random.default_rng(seed)
-    inter = rng.exponential(1.0 / rate_per_s, size=n_requests)
-    arrivals = np.cumsum(inter)
-    return tuple(
-        ServeRequest(task=task, arrival_s=float(t), request_id=i)
-        for i, t in enumerate(arrivals)
-    )
+    def _subset(self, responses: Iterable[ServeResponse]) -> "StreamReport":
+        # Deliberately a plain StreamReport (not type(self)): subclass
+        # extras such as fleet assignments do not slice meaningfully.
+        return StreamReport(
+            platform=self.platform,
+            responses=tuple(responses),
+            slo_ms=self.slo_ms,
+            scheduler=self.scheduler,
+        )
 
+    def per_tenant(self) -> dict[str, "StreamReport"]:
+        """Sub-reports keyed by tenant, each over that tenant's requests."""
+        groups: dict[str, list[ServeResponse]] = {}
+        for r in self.responses:
+            groups.setdefault(r.request.tenant, []).append(r)
+        return {t: self._subset(groups[t]) for t in sorted(groups)}
 
-def uniform_arrivals(
-    task: RNNTask, *, rate_per_s: float, n_requests: int
-) -> tuple[ServeRequest, ...]:
-    """A deterministic evenly-spaced request stream for one task."""
-    if rate_per_s <= 0:
-        raise ServingError("rate_per_s must be positive")
-    if n_requests < 1:
-        raise ServingError("n_requests must be >= 1")
-    period = 1.0 / rate_per_s
-    return tuple(
-        ServeRequest(task=task, arrival_s=(i + 1) * period, request_id=i)
-        for i in range(n_requests)
-    )
+    def per_priority(self) -> dict[int, "StreamReport"]:
+        """Sub-reports keyed by priority class."""
+        groups: dict[int, list[ServeResponse]] = {}
+        for r in self.responses:
+            groups.setdefault(r.request.priority, []).append(r)
+        return {p: self._subset(groups[p]) for p in sorted(groups)}
 
 
 class ServingEngine:
@@ -308,38 +294,33 @@ class ServingEngine:
 
     def serve_stream(
         self,
-        arrivals: Iterable[ServeRequest],
+        arrivals: Iterable[ServeRequest | RNNTask],
         *,
         slo_ms: float | None = None,
+        scheduler: str | Scheduler | Callable[[], Scheduler] = "fifo",
     ) -> StreamReport:
-        """Run a timestamped stream through a FIFO single-server queue.
+        """Run a timestamped stream through a single-server queue.
 
-        Requests are served in arrival order, one at a time (batch 1, as
-        the paper's serving scenario demands); each response records how
-        long the request waited behind earlier ones.
+        Requests are served one at a time (batch 1, as the paper's
+        serving scenario demands) by the shared discrete-event loop; the
+        ``scheduler`` picks the queue discipline (``"fifo"`` reproduces
+        the classic arrival-order simulation exactly).  Arrivals may be
+        given in any order — they are sorted internally, so pre-sorting
+        the input buys nothing and is deprecated as a contract; merged
+        multi-stream inputs must carry globally unique request ids (use
+        :func:`repro.serving.traffic.mix`).
         """
-        ordered = sorted(
-            (self._as_request(r) for r in arrivals),
-            key=lambda r: (r.arrival_s, r.request_id),
+        sched = make_scheduler(scheduler)
+        responses, _ = run_stream(
+            arrivals,
+            engines=(self,),
+            schedulers=(sched,),
+            dispatch=lambda seq, req, work_until: 0,
+            slo_ms=slo_ms,
         )
-        if not ordered:
-            raise ServingError("serve_stream needs at least one request")
-        responses = []
-        free_at = 0.0
-        for req in ordered:
-            result = self.platform.serve(self.prepare(req.task))
-            start = max(req.arrival_s, free_at)
-            finish = start + result.latency_s
-            free_at = finish
-            responses.append(
-                ServeResponse(
-                    request=req,
-                    result=result,
-                    queue_delay_s=start - req.arrival_s,
-                    start_s=start,
-                    finish_s=finish,
-                )
-            )
         return StreamReport(
-            platform=self.platform_name, responses=tuple(responses), slo_ms=slo_ms
+            platform=self.platform_name,
+            responses=tuple(responses),
+            slo_ms=slo_ms,
+            scheduler=sched.name,
         )

@@ -1,0 +1,169 @@
+"""The heap-based discrete-event loop shared by engine and fleet streams.
+
+One simulation drives both :meth:`ServingEngine.serve_stream` (a single
+replica) and :meth:`Fleet.serve_stream` (N replicas behind a
+dispatcher).  Two event kinds flow through a single heap:
+
+* ``ARRIVAL`` — a request enters the system.  The dispatcher picks a
+  replica, the replica's engine prepares/serves the model (compile-once
+  cache; service times are deterministic per platform+task), and the
+  request joins that replica's ready queue under its scheduler.
+* ``FREE`` — a replica finishes a request and pops its scheduler for
+  the next one.
+
+The loop is O(n log n) in the number of requests: each request costs a
+constant number of heap and scheduler operations.  With the FIFO
+scheduler the timeline it produces is bit-for-bit identical to the
+pre-refactor sequential simulations (pinned by the golden parity tests):
+``start = max(arrival, replica_free_at)`` is evaluated with the same
+floats in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.errors import ServingError
+from repro.serving.request import ServeRequest, ServeResponse
+from repro.serving.scheduler import QueuedRequest, Scheduler
+from repro.workloads.deepbench import RNNTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.engine import ServingEngine
+
+__all__ = ["normalize_arrivals", "run_stream"]
+
+#: Event kinds; FREE sorts before ARRIVAL at equal timestamps so an
+#: arrival always sees the replica's settled state.  (Either order
+#: yields identical timelines — ``start = max(arrival, now)`` — this
+#: just fixes the iteration order deterministically.)
+_FREE, _ARRIVAL = 0, 1
+
+#: Dispatcher: (seq, request, projected per-replica completion times)
+#: -> replica index.
+Dispatcher = Callable[[int, ServeRequest, Sequence[float]], int]
+
+
+def normalize_arrivals(
+    arrivals: Iterable[ServeRequest | RNNTask],
+) -> list[ServeRequest]:
+    """Sort a stream into arrival order and validate request ids.
+
+    Bare :class:`RNNTask` items are wrapped as arrival-time-zero requests
+    with ids taken from their position.  Duplicate ``request_id``s are
+    rejected outright: a stream merged by hand from several generators
+    almost always collides on ids (every generator numbers from 0), which
+    silently breaks FIFO tie-breaking and per-request accounting — use
+    :func:`repro.serving.traffic.mix`, which re-numbers globally.
+    """
+    requests: list[ServeRequest] = []
+    for position, item in enumerate(arrivals):
+        if isinstance(item, RNNTask):
+            item = ServeRequest(task=item, request_id=position)
+        requests.append(item)
+    if not requests:
+        raise ServingError("serve_stream needs at least one request")
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    seen: set[int] = set()
+    duplicates: set[int] = set()
+    for req in ordered:
+        if req.request_id in seen:
+            duplicates.add(req.request_id)
+        seen.add(req.request_id)
+    if duplicates:
+        shown = ", ".join(str(d) for d in sorted(duplicates)[:5])
+        raise ServingError(
+            f"duplicate request_id(s) in stream ({shown}); merge streams "
+            f"with repro.serving.traffic.mix() to get globally unique ids"
+        )
+    return ordered
+
+
+def run_stream(
+    arrivals: Iterable[ServeRequest | RNNTask],
+    *,
+    engines: Sequence["ServingEngine"],
+    schedulers: Sequence[Scheduler],
+    dispatch: Dispatcher,
+    slo_ms: float | None = None,
+) -> tuple[list[ServeResponse], list[int]]:
+    """Simulate a timestamped stream over one or more replicas.
+
+    Args:
+        arrivals: The request stream (any order; sorted internally).
+        engines: One :class:`ServingEngine` per replica.
+        schedulers: One scheduler per replica (same length as engines).
+        dispatch: Assigns each arrival to a replica, given the projected
+            completion time of all work already assigned to each replica
+            (the classic join-the-shortest-queue signal).
+        slo_ms: Stream-level SLO; per-request ``slo_ms`` overrides it
+            when computing deadlines for deadline-aware schedulers.
+
+    Returns:
+        ``(responses, assignments)``, both indexed by arrival order —
+        response ``i`` answers the ``i``-th request in arrival order no
+        matter when the scheduler actually served it.
+    """
+    if len(engines) != len(schedulers):
+        raise ServingError("need exactly one scheduler per replica")
+    ordered = normalize_arrivals(arrivals)
+    n = len(ordered)
+    n_replicas = len(engines)
+
+    responses: list[ServeResponse | None] = [None] * n
+    assignments: list[int] = [-1] * n
+    #: Projected completion of all work assigned to each replica; the
+    #: dispatch signal (identical to the pre-refactor ``free_at``).
+    work_until = [0.0] * n_replicas
+    busy = [False] * n_replicas
+
+    events: list[tuple[float, int, int]] = [
+        (req.arrival_s, _ARRIVAL, seq) for seq, req in enumerate(ordered)
+    ]
+    heapq.heapify(events)
+
+    def start_service(replica: int, now: float) -> None:
+        entry = schedulers[replica].pop()
+        req = entry.request
+        start = max(req.arrival_s, now)
+        finish = start + entry.service_s
+        busy[replica] = True
+        responses[entry.seq] = ServeResponse(
+            request=req,
+            result=entry.result,
+            queue_delay_s=start - req.arrival_s,
+            start_s=start,
+            finish_s=finish,
+        )
+        heapq.heappush(events, (finish, _FREE, replica))
+
+    while events:
+        now, kind, index = heapq.heappop(events)
+        if kind == _ARRIVAL:
+            req = ordered[index]
+            replica = dispatch(index, req, work_until)
+            if not 0 <= replica < n_replicas:
+                raise ServingError(f"dispatcher chose invalid replica {replica}")
+            engine = engines[replica]
+            result = engine.platform.serve(engine.prepare(req.task))
+            entry = QueuedRequest(
+                seq=index,
+                request=req,
+                result=result,
+                service_s=result.latency_s,
+                deadline_s=req.deadline_s(slo_ms),
+            )
+            work_until[replica] = (
+                max(req.arrival_s, work_until[replica]) + result.latency_s
+            )
+            assignments[index] = replica
+            schedulers[replica].push(entry)
+            if not busy[replica]:
+                start_service(replica, now)
+        else:
+            busy[index] = False
+            if len(schedulers[index]):
+                start_service(index, now)
+
+    return responses, assignments  # type: ignore[return-value]

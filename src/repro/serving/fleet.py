@@ -3,13 +3,19 @@
 The ROADMAP's north star is fleet-scale traffic; a single batch-1
 accelerator saturates at ``1 / service_time`` requests per second.  A
 :class:`Fleet` models the obvious scale-out: N identical replicas behind
-a dispatcher.  Two policies are built in:
+a dispatcher.  Two dispatch policies are built in:
 
 * ``"round-robin"`` — request *i* goes to replica ``i % N``; oblivious
   to load, cheap, and the right baseline.
 * ``"least-loaded"`` — each request goes to the replica that will free
   up first (join-the-shortest-queue for deterministic service times),
   which strictly dominates round-robin on bursty Poisson traffic.
+
+Dispatch decides *which replica* gets a request on arrival; each replica
+then orders its own ready queue with a pluggable scheduler
+(:mod:`repro.serving.scheduler` — FIFO, strict priority, EDF, SJF,
+coalescing), one scheduler instance per replica.  The simulation itself
+is the shared heap-based event loop in :mod:`repro.serving.events`.
 
 Replicas share one prepared-model cache, so a fleet compiles each task
 exactly once no matter how many replicas serve it.
@@ -18,11 +24,13 @@ exactly once no matter how many replicas serve it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import ServingError
 from repro.serving.engine import ServeRequest, ServeResponse, ServingEngine, StreamReport
+from repro.serving.events import run_stream
 from repro.serving.platform import Platform, PreparedModel
+from repro.serving.scheduler import Scheduler, make_scheduler
 from repro.workloads.deepbench import RNNTask
 
 __all__ = ["Fleet", "FleetReport", "SCHEDULING_POLICIES"]
@@ -104,47 +112,47 @@ class Fleet:
     def platform_name(self) -> str:
         return self.engines[0].platform_name
 
+    def _dispatcher(self) -> Callable:
+        n = self.n_replicas
+        if self.policy == "round-robin":
+            return lambda seq, req, work_until: seq % n
+        # least-loaded: earliest projected completion wins, low index ties
+        return lambda seq, req, work_until: min(
+            range(n), key=lambda j: (work_until[j], j)
+        )
+
     def serve_stream(
         self,
-        arrivals: Iterable[ServeRequest],
+        arrivals: Iterable[ServeRequest | RNNTask],
         *,
         slo_ms: float | None = None,
+        scheduler: str | Callable[[], Scheduler] = "fifo",
     ) -> FleetReport:
         """Dispatch a timestamped stream across the replicas.
 
-        Each replica is a FIFO single server; the dispatcher assigns
-        every request on arrival (no work stealing afterwards).
+        The dispatcher assigns every request to a replica on arrival (no
+        work stealing afterwards); each replica orders its own ready
+        queue with a fresh instance of ``scheduler`` — pass a registry
+        key or a zero-argument factory, not a shared instance.
         """
-        ordered = sorted(arrivals, key=lambda r: (r.arrival_s, r.request_id))
-        if not ordered:
-            raise ServingError("serve_stream needs at least one request")
-        free_at = [0.0] * self.n_replicas
-        responses: list[ServeResponse] = []
-        assignments: list[int] = []
-        for i, req in enumerate(ordered):
-            if self.policy == "round-robin":
-                replica = i % self.n_replicas
-            else:  # least-loaded: earliest projected free time wins
-                replica = min(range(self.n_replicas), key=lambda j: (free_at[j], j))
-            engine = self.engines[replica]
-            result = engine.platform.serve(engine.prepare(req.task))
-            start = max(req.arrival_s, free_at[replica])
-            finish = start + result.latency_s
-            free_at[replica] = finish
-            assignments.append(replica)
-            responses.append(
-                ServeResponse(
-                    request=req,
-                    result=result,
-                    queue_delay_s=start - req.arrival_s,
-                    start_s=start,
-                    finish_s=finish,
-                )
+        if isinstance(scheduler, Scheduler):
+            raise ServingError(
+                "a fleet needs one scheduler per replica; pass a registry "
+                "key or a factory, not a Scheduler instance"
             )
+        schedulers = tuple(make_scheduler(scheduler) for _ in self.engines)
+        responses, assignments = run_stream(
+            arrivals,
+            engines=self.engines,
+            schedulers=schedulers,
+            dispatch=self._dispatcher(),
+            slo_ms=slo_ms,
+        )
         return FleetReport(
             platform=self.platform_name,
             responses=tuple(responses),
             slo_ms=slo_ms,
+            scheduler=schedulers[0].name,
             policy=self.policy,
             assignments=tuple(assignments),
             replicas=self.n_replicas,

@@ -1,0 +1,91 @@
+"""Request and response records shared by the whole serving stack.
+
+:class:`ServeRequest` is the unit of traffic: one batch-1 RNN inference
+plus everything a data-center scheduler needs to know about it — when it
+arrived, which tenant sent it, how urgent it is, and its own latency
+budget.  :class:`ServeResponse` pairs a request with the platform result
+and the timeline the event loop assigned to it.
+
+These live in their own module (rather than in ``engine``) so the
+traffic generators, the schedulers, and the event loop can all import
+them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.serving.result import ServingResult
+from repro.workloads.deepbench import RNNTask
+
+__all__ = ["ServeRequest", "ServeResponse"]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One serving request: a task plus its arrival time and traffic tags.
+
+    Attributes:
+        task: The RNN inference to run.
+        arrival_s: When the request enters the system (seconds).
+        request_id: Identifier, unique within one stream.  Streams merged
+            by :func:`repro.serving.traffic.mix` get globally unique ids;
+            the event loop rejects streams with duplicates.
+        tenant: Which workload/customer the request belongs to; reports
+            break down latency and SLO attainment per tenant.
+        priority: Strict-priority class (larger serves first under the
+            ``"priority"`` scheduler; ties break FIFO).
+        slo_ms: Per-request latency budget.  Overrides the stream-level
+            SLO for deadline scheduling and miss accounting; ``None``
+            falls back to the stream's ``slo_ms``.
+    """
+
+    task: RNNTask
+    arrival_s: float = 0.0
+    request_id: int = 0
+    tenant: str = "default"
+    priority: int = 0
+    slo_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ServingError("arrival_s must be >= 0")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ServingError("slo_ms must be positive when set")
+
+    def effective_slo_ms(self, default_slo_ms: float | None = None) -> float | None:
+        """The request's own SLO, falling back to the stream-level one."""
+        return self.slo_ms if self.slo_ms is not None else default_slo_ms
+
+    def deadline_s(self, default_slo_ms: float | None = None) -> float:
+        """Absolute deadline implied by the request's (or stream's) SLO."""
+        slo = self.effective_slo_ms(default_slo_ms)
+        if slo is None:
+            return float("inf")
+        return self.arrival_s + slo / 1e3
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The engine's answer: the result plus the request's timeline."""
+
+    request: ServeRequest
+    result: ServingResult
+    queue_delay_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Time on the accelerator (the platform's serving latency)."""
+        return self.result.latency_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Queueing delay + service: what the user experiences."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def sojourn_ms(self) -> float:
+        return self.sojourn_s * 1e3

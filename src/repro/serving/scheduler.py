@@ -1,0 +1,275 @@
+"""Pluggable queue disciplines for the serving event loop.
+
+Each replica in the discrete-event loop owns one :class:`Scheduler`: the
+dispatcher pushes a :class:`QueuedRequest` when a request is assigned to
+the replica, and the loop pops the next request to serve whenever the
+replica frees up.  The discipline decides the pop order:
+
+* ``"fifo"`` — arrival order; the baseline and the paper's model.
+* ``"priority"`` — strict priority (larger ``ServeRequest.priority``
+  first), FIFO within a class.
+* ``"edf"`` — earliest deadline first, where a request's deadline is its
+  arrival plus its own SLO (or the stream SLO); the classic real-time
+  discipline for deadline-bound serving.
+* ``"sjf"`` — shortest job first over the platform's known service
+  times; minimizes mean sojourn at the cost of starving long tasks.
+* ``"coalesce"`` — FIFO that keeps serving back-to-back requests for
+  the task just served, exploiting the engine's compile cache and any
+  on-chip weight residency before switching tasks.
+
+Schedulers register under a string key exactly like platforms do::
+
+    @register_scheduler("myorder")
+    class MyScheduler(Scheduler):
+        ...
+
+    engine.serve_stream(arrivals, scheduler="myorder")
+
+All disciplines are O(log n) per operation, keeping the event loop at
+O(n log n) end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import ServingError
+from repro.serving.request import ServeRequest
+from repro.serving.result import ServingResult
+from repro.workloads.deepbench import RNNTask
+
+__all__ = [
+    "QueuedRequest",
+    "Scheduler",
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "EDFScheduler",
+    "SJFScheduler",
+    "CoalescingScheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "make_scheduler",
+]
+
+
+@dataclass(eq=False)
+class QueuedRequest:
+    """A dispatched request waiting in one replica's ready queue.
+
+    Attributes:
+        seq: Arrival-order index across the whole stream; every
+            discipline breaks ties FIFO on it.
+        request: The request itself (tenant, priority, SLO tags).
+        result: The platform result, computed at dispatch time — service
+            times are deterministic per (platform, task), so the
+            scheduler may use them (SJF does).
+        service_s: The request's service time on this replica.
+        deadline_s: Absolute deadline (arrival + effective SLO), ``inf``
+            when neither the request nor the stream has an SLO.
+    """
+
+    seq: int
+    request: ServeRequest
+    result: ServingResult = field(repr=False)
+    service_s: float = 0.0
+    deadline_s: float = float("inf")
+
+
+class Scheduler(ABC):
+    """Queue discipline for one replica: push on dispatch, pop when free."""
+
+    #: Registry key; set by :func:`register_scheduler`.
+    name: str = "?"
+
+    @abstractmethod
+    def push(self, entry: QueuedRequest) -> None:
+        """Admit a dispatched request to the ready queue."""
+
+    @abstractmethod
+    def pop(self) -> QueuedRequest:
+        """Remove and return the next request to serve."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of requests waiting."""
+
+
+class _KeyedScheduler(Scheduler):
+    """Heap-ordered discipline over a per-entry key; ties break FIFO."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+
+    def key(self, entry: QueuedRequest) -> tuple:
+        raise NotImplementedError  # pragma: no cover
+
+    def push(self, entry: QueuedRequest) -> None:
+        # seq is unique, so the trailing entry is never compared.
+        heapq.heappush(self._heap, (*self.key(entry), entry.seq, entry))
+
+    def pop(self) -> QueuedRequest:
+        if not self._heap:
+            raise ServingError("pop from an empty ready queue")
+        return heapq.heappop(self._heap)[-1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+_REGISTRY: dict[str, type[Scheduler]] = {}
+
+S = TypeVar("S", bound=type[Scheduler])
+
+
+def register_scheduler(name: str) -> Callable[[S], S]:
+    """Class decorator: register a :class:`Scheduler` under ``name``."""
+
+    def decorate(cls: S) -> S:
+        if not (isinstance(cls, type) and issubclass(cls, Scheduler)):
+            raise ServingError(
+                f"@register_scheduler({name!r}) needs a Scheduler subclass"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ServingError(
+                f"scheduler {name!r} already registered by {existing.__name__}"
+            )
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Sorted keys of every registered scheduler."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scheduler(name: str, **options: object) -> Scheduler:
+    """Instantiate a fresh scheduler registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ServingError(
+            f"unknown scheduler {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return cls(**options)
+
+
+def make_scheduler(
+    spec: str | Scheduler | Callable[[], Scheduler],
+) -> Scheduler:
+    """Resolve a scheduler spec: a registry key, an instance, or a factory.
+
+    Fleets need one scheduler *per replica*, so they call this once per
+    replica with a key or factory; a shared instance would interleave
+    queues and is rejected at the fleet layer.
+    """
+    if isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, str):
+        return get_scheduler(spec)
+    if callable(spec):
+        sched = spec()
+        if not isinstance(sched, Scheduler):
+            raise ServingError("scheduler factory must return a Scheduler")
+        return sched
+    raise ServingError(f"cannot build a scheduler from {spec!r}")
+
+
+@register_scheduler("fifo")
+class FIFOScheduler(_KeyedScheduler):
+    """Serve in arrival order — the pre-refactor behaviour, bit for bit."""
+
+    def key(self, entry: QueuedRequest) -> tuple:
+        return ()
+
+
+@register_scheduler("priority")
+class PriorityScheduler(_KeyedScheduler):
+    """Strict priority: larger ``request.priority`` first, FIFO within."""
+
+    def key(self, entry: QueuedRequest) -> tuple:
+        return (-entry.request.priority,)
+
+
+@register_scheduler("edf")
+class EDFScheduler(_KeyedScheduler):
+    """Earliest deadline first over per-request (or stream) SLOs."""
+
+    def key(self, entry: QueuedRequest) -> tuple:
+        return (entry.deadline_s,)
+
+
+@register_scheduler("sjf")
+class SJFScheduler(_KeyedScheduler):
+    """Shortest job first over the platform's deterministic service times."""
+
+    def key(self, entry: QueuedRequest) -> tuple:
+        return (entry.service_s,)
+
+
+@register_scheduler("coalesce")
+class CoalescingScheduler(Scheduler):
+    """FIFO that groups back-to-back requests for the same task.
+
+    After serving a request, any queued request for the *same* task jumps
+    the line (oldest first), so runs of one task are served contiguously
+    and the compile cache / on-chip weights stay hot; when the run dries
+    up, the discipline falls back to plain FIFO for the next task.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[RNNTask, deque[QueuedRequest]] = {}
+        #: Lazy FIFO heap of (seq, task); entries served out-of-band via
+        #: coalescing are skipped when they surface.
+        self._order: list[tuple[int, RNNTask]] = []
+        self._last_task: RNNTask | None = None
+        self._size = 0
+
+    def push(self, entry: QueuedRequest) -> None:
+        self._buckets.setdefault(entry.request.task, deque()).append(entry)
+        # seq is unique, so the task in the tuple is never compared.
+        heapq.heappush(self._order, (entry.seq, entry.request.task))
+        self._size += 1
+
+    def pop(self) -> QueuedRequest:
+        if self._size == 0:
+            raise ServingError("pop from an empty ready queue")
+        bucket = (
+            self._buckets.get(self._last_task)
+            if self._last_task is not None
+            else None
+        )
+        if bucket:
+            entry = bucket.popleft()
+        else:
+            while True:
+                seq, task = self._order[0]
+                candidates = self._buckets.get(task)
+                if candidates and candidates[0].seq == seq:
+                    heapq.heappop(self._order)
+                    entry = candidates.popleft()
+                    break
+                # Stale marker: that request already jumped the line.
+                heapq.heappop(self._order)
+        task = entry.request.task
+        if not self._buckets.get(task):
+            self._buckets.pop(task, None)
+        self._last_task = task
+        self._size -= 1
+        return entry
+
+    def __len__(self) -> int:
+        return self._size

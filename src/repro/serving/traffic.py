@@ -1,0 +1,317 @@
+"""Composable traffic generation: arrival processes, mixes, and traces.
+
+The paper's serving scenario is a stream of batch-1 requests; real
+data-center RNN serving adds multiple tenants, bursty arrivals, and
+per-request deadlines on top.  This module generates that traffic:
+
+* :func:`poisson_arrivals` / :func:`uniform_arrivals` — the classic
+  open-loop processes;
+* :func:`mmpp_arrivals` — a two-state Markov-modulated Poisson process
+  (quiet/burst), the standard model for bursty interactive traffic;
+* :func:`diurnal_arrivals` — a non-homogeneous Poisson process whose
+  rate ramps sinusoidally over a period (a compressed day/night cycle);
+* :func:`mix` — interleave several single-tenant streams into one
+  multi-tenant workload with globally unique request ids;
+* :func:`record_trace` / :func:`replay_trace` — JSONL capture and exact
+  replay of any stream.
+
+Every generator is seeded and deterministic: the same arguments produce
+the identical request sequence, so experiments and tests are repeatable.
+All generators accept ``tenant``, ``priority``, and ``slo_ms`` tags that
+flow through to the schedulers and per-tenant report breakdowns.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ServingError
+from repro.serving.request import ServeRequest
+from repro.workloads.deepbench import RNNTask
+
+__all__ = [
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "mix",
+    "record_trace",
+    "replay_trace",
+]
+
+
+def _check_stream_args(rate_per_s: float, n_requests: int) -> None:
+    if rate_per_s <= 0:
+        raise ServingError("rate_per_s must be positive")
+    if n_requests < 1:
+        raise ServingError("n_requests must be >= 1")
+
+
+def poisson_arrivals(
+    task: RNNTask,
+    *,
+    rate_per_s: float,
+    n_requests: int,
+    seed: int = 0,
+    start_s: float = 0.0,
+    tenant: str = "default",
+    priority: int = 0,
+    slo_ms: float | None = None,
+) -> tuple[ServeRequest, ...]:
+    """A Poisson request stream for one task (exponential inter-arrivals).
+
+    The same seed at two different rates yields time-scaled copies of the
+    same stream, which keeps rate sweeps comparable.
+    """
+    _check_stream_args(rate_per_s, n_requests)
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    inter = rng.exponential(1.0 / rate_per_s, size=n_requests)
+    arrivals = np.cumsum(inter)
+    return tuple(
+        ServeRequest(
+            task=task,
+            arrival_s=start_s + float(t),
+            request_id=i,
+            tenant=tenant,
+            priority=priority,
+            slo_ms=slo_ms,
+        )
+        for i, t in enumerate(arrivals)
+    )
+
+
+def uniform_arrivals(
+    task: RNNTask,
+    *,
+    rate_per_s: float,
+    n_requests: int,
+    start_s: float = 0.0,
+    tenant: str = "default",
+    priority: int = 0,
+    slo_ms: float | None = None,
+) -> tuple[ServeRequest, ...]:
+    """A deterministic evenly-spaced request stream for one task."""
+    _check_stream_args(rate_per_s, n_requests)
+    period = 1.0 / rate_per_s
+    return tuple(
+        ServeRequest(
+            task=task,
+            arrival_s=start_s + (i + 1) * period,
+            request_id=i,
+            tenant=tenant,
+            priority=priority,
+            slo_ms=slo_ms,
+        )
+        for i in range(n_requests)
+    )
+
+
+def mmpp_arrivals(
+    task: RNNTask,
+    *,
+    quiet_rate_per_s: float,
+    burst_rate_per_s: float,
+    n_requests: int,
+    quiet_dwell_s: float = 0.25,
+    burst_dwell_s: float = 0.05,
+    seed: int = 0,
+    start_s: float = 0.0,
+    tenant: str = "default",
+    priority: int = 0,
+    slo_ms: float | None = None,
+) -> tuple[ServeRequest, ...]:
+    """A two-state Markov-modulated Poisson process (quiet vs burst).
+
+    The process alternates between a quiet state and a burst state; dwell
+    times in each state are exponential with the given means, and within
+    a state arrivals are Poisson at that state's rate.  The result is the
+    bursty traffic real interactive services see: long stretches near the
+    quiet rate punctuated by short storms at the burst rate.
+    """
+    _check_stream_args(quiet_rate_per_s, n_requests)
+    if burst_rate_per_s <= 0:
+        raise ServingError("burst_rate_per_s must be positive")
+    if quiet_dwell_s <= 0 or burst_dwell_s <= 0:
+        raise ServingError("dwell times must be positive")
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    rates = (quiet_rate_per_s, burst_rate_per_s)
+    dwells = (quiet_dwell_s, burst_dwell_s)
+    state = 0
+    t = 0.0
+    state_end = float(rng.exponential(dwells[state]))
+    times: list[float] = []
+    while len(times) < n_requests:
+        gap = float(rng.exponential(1.0 / rates[state]))
+        if t + gap < state_end:
+            t += gap
+            times.append(t)
+        else:
+            # No arrival before the state flips; jump to the boundary.
+            t = state_end
+            state = 1 - state
+            state_end = t + float(rng.exponential(dwells[state]))
+    return tuple(
+        ServeRequest(
+            task=task,
+            arrival_s=start_s + at,
+            request_id=i,
+            tenant=tenant,
+            priority=priority,
+            slo_ms=slo_ms,
+        )
+        for i, at in enumerate(times)
+    )
+
+
+def diurnal_arrivals(
+    task: RNNTask,
+    *,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    n_requests: int,
+    seed: int = 0,
+    start_s: float = 0.0,
+    tenant: str = "default",
+    priority: int = 0,
+    slo_ms: float | None = None,
+) -> tuple[ServeRequest, ...]:
+    """A sinusoidal rate ramp: a compressed day/night traffic cycle.
+
+    Generates a non-homogeneous Poisson process via thinning against the
+    peak rate, with ``rate(t) = base + (peak - base) * (1 - cos(2*pi*t /
+    period)) / 2`` — the stream starts at the base rate, crests at the
+    peak half a period in, and returns to base.
+    """
+    _check_stream_args(base_rate_per_s, n_requests)
+    if peak_rate_per_s < base_rate_per_s:
+        raise ServingError("peak_rate_per_s must be >= base_rate_per_s")
+    if period_s <= 0:
+        raise ServingError("period_s must be positive")
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    swing = peak_rate_per_s - base_rate_per_s
+    t = 0.0
+    times: list[float] = []
+    while len(times) < n_requests:
+        t += float(rng.exponential(1.0 / peak_rate_per_s))
+        rate = base_rate_per_s + swing * (1.0 - math.cos(2.0 * math.pi * t / period_s)) / 2.0
+        if float(rng.uniform()) * peak_rate_per_s <= rate:
+            times.append(t)
+    return tuple(
+        ServeRequest(
+            task=task,
+            arrival_s=start_s + at,
+            request_id=i,
+            tenant=tenant,
+            priority=priority,
+            slo_ms=slo_ms,
+        )
+        for i, at in enumerate(times)
+    )
+
+
+def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
+    """Interleave several streams into one multi-tenant workload.
+
+    Requests are merged in arrival order (ties break by stream position,
+    then by original id) and re-numbered with globally unique
+    ``request_id``s — the per-stream ids almost always collide, and the
+    event loop rejects duplicate ids outright.  Tenant, priority, and
+    per-request SLO tags are preserved.
+    """
+    if not streams:
+        raise ServingError("mix needs at least one stream")
+    tagged = [
+        (req.arrival_s, stream_idx, req.request_id, req)
+        for stream_idx, stream in enumerate(streams)
+        for req in stream
+    ]
+    if not tagged:
+        raise ServingError("mix needs at least one request across its streams")
+    tagged.sort(key=lambda item: item[:3])
+    return tuple(
+        replace(req, request_id=new_id)
+        for new_id, (_, _, _, req) in enumerate(tagged)
+    )
+
+
+#: Trace schema version, recorded on every line for forward compatibility.
+_TRACE_VERSION = 1
+
+
+def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
+    """Write a stream to a JSONL trace file (one request per line).
+
+    Floats are serialized with ``repr`` precision, so
+    :func:`replay_trace` reproduces the exact same requests — and
+    therefore the exact same :class:`~repro.serving.engine.StreamReport`.
+    """
+    path = Path(path)
+    lines = []
+    for req in requests:
+        lines.append(
+            json.dumps(
+                {
+                    "v": _TRACE_VERSION,
+                    "kind": req.task.kind,
+                    "hidden": req.task.hidden,
+                    "timesteps": req.task.timesteps,
+                    "batch": req.task.batch,
+                    "in_table6": req.task.in_table6,
+                    "arrival_s": req.arrival_s,
+                    "request_id": req.request_id,
+                    "tenant": req.tenant,
+                    "priority": req.priority,
+                    "slo_ms": req.slo_ms,
+                },
+                sort_keys=True,
+            )
+        )
+    if not lines:
+        raise ServingError("refusing to record an empty trace")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def replay_trace(path: str | Path) -> tuple[ServeRequest, ...]:
+    """Load a JSONL trace back into the identical request stream."""
+    path = Path(path)
+    if not path.exists():
+        raise ServingError(f"trace file not found: {path}")
+    requests: list[ServeRequest] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+            requests.append(
+                ServeRequest(
+                    task=RNNTask(
+                        rec["kind"],
+                        rec["hidden"],
+                        rec["timesteps"],
+                        batch=rec.get("batch", 1),
+                        in_table6=rec.get("in_table6", True),
+                    ),
+                    arrival_s=rec["arrival_s"],
+                    request_id=rec["request_id"],
+                    tenant=rec.get("tenant", "default"),
+                    priority=rec.get("priority", 0),
+                    slo_ms=rec.get("slo_ms"),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ServingError(f"bad trace line {lineno} in {path}: {exc}") from exc
+    if not requests:
+        raise ServingError(f"trace {path} holds no requests")
+    return tuple(requests)

@@ -126,6 +126,38 @@ class TestCLI:
         ) == 0
         assert "2 replica(s), round-robin" in capsys.readouterr().out
 
+    def test_serve_stream_mix_scheduler(self, capsys):
+        assert main(
+            ["serve", "--platform", "gpu", "--stream", "--scheduler", "edf",
+             "--mix", "lstm:512@5,gru:512:1@20^1", "--rate", "400",
+             "--requests", "60", "--slo-ms", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2-tenant mix" in out and "edf" in out
+        assert "Per-tenant breakdown (gpu)" in out
+        assert "lstm-h512-t25" in out and "gru-h512-t1" in out
+
+    def test_serve_stream_bad_mix_errors(self, capsys):
+        assert main(
+            ["serve", "--platform", "gpu", "--stream", "--mix", "lstm"]
+        ) == 1
+        assert "bad --mix entry" in capsys.readouterr().err
+
+    def test_serve_stream_trace_round_trip(self, capsys, tmp_path):
+        trace = str(tmp_path / "stream.jsonl")
+        assert main(
+            ["serve", "lstm", "512", "--platform", "gpu", "--stream",
+             "--rate", "300", "--requests", "40", "--record-trace", trace]
+        ) == 0
+        first = capsys.readouterr().out
+        assert f"[trace recorded: {trace}]" in first
+        assert main(
+            ["serve", "--platform", "gpu", "--stream", "--trace", trace]
+        ) == 0
+        second = capsys.readouterr().out
+        # Replay reproduces the generated stream's table verbatim.
+        assert first.splitlines()[1:4] == second.splitlines()[1:4]
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["tableX"])

@@ -46,6 +46,13 @@ class TestExamples:
         assert "plasticine" in out
         assert "saturated" in out  # the CPU cannot keep up
 
+    def test_multi_tenant_serving(self, capsys):
+        _load("multi_tenant_serving").main()
+        out = capsys.readouterr().out
+        assert "edf" in out and "fifo" in out
+        assert "Per-tenant" in out or "interactive" in out
+        assert "EDF over a least-loaded fleet" in out
+
     @pytest.mark.slow
     def test_deepbench_sweep(self, capsys):
         _load("deepbench_sweep").main()

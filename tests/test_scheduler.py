@@ -1,0 +1,184 @@
+"""Scheduler disciplines and the scheduler registry."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    ServeRequest,
+    ServingEngine,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.serving.scheduler import (
+    CoalescingScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    QueuedRequest,
+    Scheduler,
+    SJFScheduler,
+    make_scheduler,
+    unregister_scheduler,
+)
+from repro.workloads.deepbench import task
+
+T = task("lstm", 512, 25)
+G = task("gru", 512, 1)
+
+
+def _entry(seq, *, task=T, priority=0, service_s=1.0, deadline_s=float("inf")):
+    req = ServeRequest(task=task, arrival_s=0.0, request_id=seq, priority=priority)
+    return QueuedRequest(
+        seq=seq, request=req, result=None, service_s=service_s, deadline_s=deadline_s
+    )
+
+
+def _drain(sched):
+    out = []
+    while len(sched):
+        out.append(sched.pop().seq)
+    return out
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_schedulers()
+        for expected in ("fifo", "priority", "edf", "sjf", "coalesce"):
+            assert expected in names
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(ServingError, match="unknown scheduler 'lifo'"):
+            get_scheduler("lifo")
+
+    def test_register_round_trip(self):
+        @register_scheduler("lifo-test")
+        class LIFOScheduler(Scheduler):
+            def __init__(self):
+                self._stack = []
+
+            def push(self, entry):
+                self._stack.append(entry)
+
+            def pop(self):
+                return self._stack.pop()
+
+            def __len__(self):
+                return len(self._stack)
+
+        try:
+            assert "lifo-test" in available_schedulers()
+            sched = get_scheduler("lifo-test")
+            assert sched.name == "lifo-test"
+            sched.push(_entry(0))
+            sched.push(_entry(1))
+            assert sched.pop().seq == 1
+        finally:
+            unregister_scheduler("lifo-test")
+        assert "lifo-test" not in available_schedulers()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ServingError, match="already registered"):
+            @register_scheduler("fifo")
+            class Impostor(Scheduler):
+                def push(self, entry):  # pragma: no cover
+                    raise NotImplementedError
+
+                def pop(self):  # pragma: no cover
+                    raise NotImplementedError
+
+                def __len__(self):  # pragma: no cover
+                    return 0
+
+    def test_non_scheduler_rejected(self):
+        with pytest.raises(ServingError, match="Scheduler subclass"):
+            register_scheduler("bogus")(object)
+
+    def test_make_scheduler_specs(self):
+        assert isinstance(make_scheduler("edf"), EDFScheduler)
+        inst = FIFOScheduler()
+        assert make_scheduler(inst) is inst
+        assert isinstance(make_scheduler(SJFScheduler), SJFScheduler)
+        with pytest.raises(ServingError, match="factory"):
+            make_scheduler(lambda: object())
+        with pytest.raises(ServingError):
+            make_scheduler(42)
+
+    def test_engine_rejects_unknown_scheduler(self):
+        with pytest.raises(ServingError, match="unknown scheduler"):
+            ServingEngine("gpu").serve_stream(
+                [ServeRequest(task=T)], scheduler="nope"
+            )
+
+
+class TestDisciplines:
+    def test_pop_empty_raises(self):
+        for name in available_schedulers():
+            with pytest.raises(ServingError, match="empty"):
+                get_scheduler(name).pop()
+
+    def test_fifo_orders_by_seq(self):
+        sched = FIFOScheduler()
+        for seq in (2, 0, 1):
+            sched.push(_entry(seq))
+        assert _drain(sched) == [0, 1, 2]
+
+    def test_priority_orders_high_first_fifo_within(self):
+        sched = PriorityScheduler()
+        sched.push(_entry(0, priority=0))
+        sched.push(_entry(1, priority=5))
+        sched.push(_entry(2, priority=5))
+        sched.push(_entry(3, priority=1))
+        assert _drain(sched) == [1, 2, 3, 0]
+
+    def test_edf_orders_by_deadline(self):
+        sched = EDFScheduler()
+        sched.push(_entry(0, deadline_s=3.0))
+        sched.push(_entry(1, deadline_s=1.0))
+        sched.push(_entry(2, deadline_s=2.0))
+        sched.push(_entry(3))  # no SLO -> inf deadline, last
+        assert _drain(sched) == [1, 2, 0, 3]
+
+    def test_edf_ties_break_fifo(self):
+        sched = EDFScheduler()
+        sched.push(_entry(1, deadline_s=1.0))
+        sched.push(_entry(0, deadline_s=1.0))
+        assert _drain(sched) == [0, 1]
+
+    def test_sjf_orders_by_service_time(self):
+        sched = SJFScheduler()
+        sched.push(_entry(0, service_s=3.0))
+        sched.push(_entry(1, service_s=0.5))
+        sched.push(_entry(2, service_s=1.5))
+        assert _drain(sched) == [1, 2, 0]
+
+    def test_coalesce_groups_same_task_runs(self):
+        sched = CoalescingScheduler()
+        # Arrival order alternates tasks; coalescing should serve the
+        # first task's whole backlog before switching.
+        sched.push(_entry(0, task=T))
+        sched.push(_entry(1, task=G))
+        sched.push(_entry(2, task=T))
+        sched.push(_entry(3, task=G))
+        sched.push(_entry(4, task=T))
+        assert _drain(sched) == [0, 2, 4, 1, 3]
+
+    def test_coalesce_falls_back_to_fifo_between_runs(self):
+        sched = CoalescingScheduler()
+        sched.push(_entry(0, task=G))
+        sched.push(_entry(1, task=T))
+        sched.push(_entry(2, task=G))
+        # Serve G's run, then the oldest remaining (T).
+        assert _drain(sched) == [0, 2, 1]
+
+    def test_coalesce_interleaved_pushes(self):
+        sched = CoalescingScheduler()
+        sched.push(_entry(0, task=T))
+        assert sched.pop().seq == 0
+        sched.push(_entry(1, task=G))
+        sched.push(_entry(2, task=T))
+        # Last served task was T, so its newer request jumps the queue.
+        assert sched.pop().seq == 2
+        sched.push(_entry(3, task=G))
+        assert _drain(sched) == [1, 3]
+        assert len(sched) == 0

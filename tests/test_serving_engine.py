@@ -247,6 +247,67 @@ class TestStream:
         assert report.n_requests == 3
 
 
+class TestReportBreakdowns:
+    def _tagged_stream(self):
+        t_a, t_b = task("lstm", 512, 25), task("gru", 512, 1)
+        return [
+            ServeRequest(task=t_a, arrival_s=0.001 * i, request_id=i,
+                         tenant="a" if i % 2 else "b",
+                         priority=i % 2, slo_ms=2.0 if i % 2 else None)
+            for i in range(10)
+        ] + [
+            ServeRequest(task=t_b, arrival_s=0.02 + 0.001 * i, request_id=10 + i,
+                         tenant="c")
+            for i in range(5)
+        ]
+
+    def test_per_tenant_partitions_the_stream(self):
+        report = ServingEngine("gpu").serve_stream(self._tagged_stream(), slo_ms=5.0)
+        subs = report.per_tenant()
+        assert set(subs) == {"a", "b", "c"}
+        assert report.tenants == ("a", "b", "c")
+        assert sum(s.n_requests for s in subs.values()) == report.n_requests
+        for tenant, sub in subs.items():
+            assert all(r.request.tenant == tenant for r in sub.responses)
+            assert sub.slo_ms == report.slo_ms
+            assert sub.scheduler == report.scheduler
+
+    def test_per_priority_partitions_the_stream(self):
+        report = ServingEngine("gpu").serve_stream(self._tagged_stream(), slo_ms=5.0)
+        subs = report.per_priority()
+        assert set(subs) == {0, 1}
+        assert report.priorities == (0, 1)
+        assert sum(s.n_requests for s in subs.values()) == report.n_requests
+
+    def test_per_request_slo_overrides_stream_slo(self):
+        t = task("lstm", 512, 25)  # gpu service ~0.74 ms
+        reqs = [
+            ServeRequest(task=t, arrival_s=0.01, request_id=0, slo_ms=0.01),
+            ServeRequest(task=t, arrival_s=0.02, request_id=1, slo_ms=100.0),
+            ServeRequest(task=t, arrival_s=0.03, request_id=2),  # stream SLO
+        ]
+        report = ServingEngine("gpu").serve_stream(reqs, slo_ms=5.0)
+        # Request 0 misses its own microscopic SLO; the others meet theirs.
+        assert report.slo_miss_rate == pytest.approx(1 / 3)
+        assert report.slo_attainment == pytest.approx(2 / 3)
+
+    def test_scheduler_name_recorded(self):
+        t = task("lstm", 512, 25)
+        report = ServingEngine("gpu").serve_stream(
+            [ServeRequest(task=t)], scheduler="edf"
+        )
+        assert report.scheduler == "edf"
+
+    def test_fleet_report_breakdown_is_plain_stream_report(self):
+        from repro.serving import Fleet, StreamReport, uniform_arrivals as ua
+
+        report = Fleet("gpu", replicas=2).serve_stream(
+            ua(task("lstm", 512, 25), rate_per_s=100.0, n_requests=10)
+        )
+        sub = report.per_tenant()["default"]
+        assert type(sub) is StreamReport
+
+
 #: Pre-redesign golden values captured from the original serve_on_*
 #: implementations (commit af1c923) for every Table 6 task:
 #: (plasticine latency_s, plasticine TFLOPS, plasticine power_w,

@@ -96,6 +96,32 @@ class TestLeastLoaded:
             assert resp.sojourn_s == pytest.approx(service)
 
 
+class TestPerReplicaSchedulers:
+    def test_fleet_accepts_scheduler_name(self):
+        arrivals = poisson_arrivals(T, rate_per_s=2500.0, n_requests=100, seed=2)
+        report = Fleet("gpu", replicas=2).serve_stream(arrivals, scheduler="edf")
+        assert report.scheduler == "edf"
+        assert report.n_requests == 100
+
+    def test_fleet_rejects_shared_scheduler_instance(self):
+        from repro.serving import FIFOScheduler
+
+        with pytest.raises(ServingError, match="per replica"):
+            Fleet("gpu", replicas=2).serve_stream(
+                uniform_arrivals(T, rate_per_s=100.0, n_requests=4),
+                scheduler=FIFOScheduler(),
+            )
+
+    def test_fleet_accepts_scheduler_factory(self):
+        from repro.serving import SJFScheduler
+
+        report = Fleet("gpu", replicas=2).serve_stream(
+            uniform_arrivals(T, rate_per_s=100.0, n_requests=4),
+            scheduler=SJFScheduler,
+        )
+        assert report.scheduler == "sjf"
+
+
 class TestSharedCompileCache:
     def test_fleet_compiles_each_task_once(self):
         fleet = Fleet("plasticine", replicas=3, policy="round-robin")

@@ -1,0 +1,151 @@
+"""Property-based tests for the discrete-event loop.
+
+Hand-rolled seeded generators (no hypothesis dependency on the hot
+path): each seed builds a random multi-tenant workload — bursty gaps,
+mixed tasks, random priorities and SLOs — and the properties must hold
+for every scheduler on both the single engine and the fleet:
+
+* conservation — every arrival is served exactly once;
+* sane timelines — non-negative queue delays, service starts at or
+  after arrival, sojourn = queue + service, and no replica ever serves
+  two requests at once;
+* FIFO preserves arrival order;
+* EDF never has a higher SLO-miss rate than FIFO on deadline-sorted
+  workloads;
+* per-replica assignment counts sum to the stream total.
+"""
+
+import random
+
+import pytest
+
+from repro.serving import Fleet, ServeRequest, ServingEngine, available_schedulers
+from repro.workloads.deepbench import task
+
+TASK_POOL = (
+    task("lstm", 512, 25),
+    task("gru", 512, 1),
+    task("lstm", 256, 150),
+)
+
+SEEDS = tuple(range(6))
+
+
+def random_workload(seed: int, n: int = 60) -> tuple[ServeRequest, ...]:
+    """A seeded random multi-tenant stream with bursty arrival gaps."""
+    rng = random.Random(seed)
+    t = 0.0
+    requests = []
+    for i in range(n):
+        # Bursty gaps: mostly tight, occasionally a long lull.
+        t += rng.expovariate(2000.0) if rng.random() < 0.8 else rng.expovariate(50.0)
+        requests.append(
+            ServeRequest(
+                task=rng.choice(TASK_POOL),
+                arrival_s=t,
+                request_id=i,
+                tenant=rng.choice(("a", "b", "c")),
+                priority=rng.randrange(3),
+                slo_ms=rng.choice((None, 1.0, 5.0, 25.0)),
+            )
+        )
+    rng.shuffle(requests)  # the loop must not rely on input order
+    return tuple(requests)
+
+
+def _servers():
+    yield "engine", lambda: ServingEngine("gpu")
+    yield "fleet", lambda: Fleet("gpu", replicas=3, policy="least-loaded")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheduler", sorted(available_schedulers()))
+class TestUniversalProperties:
+    def test_conservation_and_timeline(self, seed, scheduler):
+        workload = random_workload(seed)
+        for kind, build in _servers():
+            report = build().serve_stream(
+                workload, slo_ms=5.0, scheduler=scheduler
+            )
+            # Conservation: every arrival served exactly once.
+            served_ids = sorted(r.request.request_id for r in report.responses)
+            assert served_ids == sorted(r.request_id for r in workload), kind
+            by_id = {r.request_id: r for r in workload}
+            for resp in report.responses:
+                assert resp.request == by_id[resp.request.request_id], kind
+                # Timeline sanity per response.
+                assert resp.queue_delay_s >= 0.0, kind
+                assert resp.start_s >= resp.request.arrival_s, kind
+                assert resp.finish_s == resp.start_s + resp.service_s, kind
+                assert resp.sojourn_s == pytest.approx(
+                    resp.queue_delay_s + resp.service_s
+                ), kind
+
+    def test_replicas_serve_one_at_a_time(self, seed, scheduler):
+        workload = random_workload(seed)
+        fleet = Fleet("gpu", replicas=3, policy="least-loaded")
+        report = fleet.serve_stream(workload, scheduler=scheduler)
+        spans: dict[int, list] = {}
+        for replica, resp in zip(report.assignments, report.responses):
+            spans.setdefault(replica, []).append((resp.start_s, resp.finish_s))
+        for replica, intervals in spans.items():
+            intervals.sort()
+            for (_, prev_finish), (start, _) in zip(intervals, intervals[1:]):
+                assert start >= prev_finish, f"replica {replica} double-booked"
+
+    def test_per_replica_counts_sum_to_total(self, seed, scheduler):
+        workload = random_workload(seed)
+        for policy in ("round-robin", "least-loaded"):
+            fleet = Fleet("gpu", replicas=4, policy=policy)
+            report = fleet.serve_stream(workload, scheduler=scheduler)
+            assert sum(report.per_replica_counts) == report.n_requests
+            assert len(report.per_replica_counts) == 4
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFIFOOrder:
+    def test_fifo_preserves_arrival_order(self, seed):
+        workload = random_workload(seed)
+        report = ServingEngine("gpu").serve_stream(workload, scheduler="fifo")
+        ordered = sorted(workload, key=lambda r: (r.arrival_s, r.request_id))
+        # Responses come back in arrival order, and with FIFO the service
+        # starts are monotone in that same order.
+        assert [r.request.request_id for r in report.responses] == [
+            r.request_id for r in ordered
+        ]
+        starts = [r.start_s for r in report.responses]
+        assert starts == sorted(starts)
+
+
+def deadline_sorted_workload(seed: int, n: int = 60) -> tuple[ServeRequest, ...]:
+    """Random arrivals whose deadlines ascend in arrival order.
+
+    Each request's SLO grows slightly with its position, so
+    ``deadline = arrival + slo`` is strictly increasing — on such
+    workloads EDF and FIFO agree on the service order, hence EDF can
+    never miss more deadlines than FIFO.
+    """
+    rng = random.Random(seed)
+    t = 0.0
+    requests = []
+    for i in range(n):
+        t += rng.expovariate(2000.0) if rng.random() < 0.8 else rng.expovariate(50.0)
+        requests.append(
+            ServeRequest(
+                task=rng.choice(TASK_POOL),
+                arrival_s=t,
+                request_id=i,
+                slo_ms=4.0 + 0.01 * i,
+            )
+        )
+    return tuple(requests)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEDFvsFIFO:
+    def test_edf_not_worse_on_deadline_sorted_workloads(self, seed):
+        workload = deadline_sorted_workload(seed)
+        engine = ServingEngine("gpu")
+        fifo = engine.serve_stream(workload, scheduler="fifo")
+        edf = engine.serve_stream(workload, scheduler="edf")
+        assert edf.slo_miss_rate <= fifo.slo_miss_rate
