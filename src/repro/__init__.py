@@ -13,7 +13,7 @@ The package is organized bottom-up:
 * :mod:`repro.workloads` — the DeepBench task suite.
 * :mod:`repro.serving` — the pluggable serving engine: platform
   registry, compile-once sessions, multi-tenant traffic generation,
-  pluggable schedulers, and fleets.
+  pluggable schedulers, dynamic batching, and autoscaled fleets.
 * :mod:`repro.analysis` — fragmentation / footprint / utilization studies.
 * :mod:`repro.harness` — regenerates every table and figure of the paper.
 
@@ -31,7 +31,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _API_NAMES = (
     "ServingResult",
@@ -63,6 +63,12 @@ _SERVING_NAMES = (
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "Batcher",
+    "register_batcher",
+    "get_batcher",
+    "available_batchers",
+    "Autoscaler",
+    "ScaleEvent",
 )
 
 __all__ = ["__version__", *_API_NAMES, *_SERVING_NAMES]

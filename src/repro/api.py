@@ -72,6 +72,14 @@ def serve_on_plasticine(
         chip: Target chip (default: Table 3's RNN-serving variant).
         bits: Weight/multiply precision.
         use_dse: Force DSE selection even when paper parameters exist.
+
+    Example::
+
+        >>> from repro import serve_on_plasticine
+        >>> from repro.workloads import deepbench
+        >>> res = serve_on_plasticine(deepbench.task("lstm", 512, 25))
+        >>> res.platform, res.latency_ms < 5.0
+        ('plasticine', True)
     """
     platform = PlasticinePlatform(chip, params=params, bits=bits, use_dse=use_dse)
     return platform.serve_task(task)
@@ -83,6 +91,13 @@ def serve_on_brainwave(
     """Run the Brainwave instruction-level model.
 
     .. deprecated:: use ``ServingEngine("brainwave")``.
+
+    Example::
+
+        >>> from repro import serve_on_brainwave
+        >>> from repro.workloads import deepbench
+        >>> serve_on_brainwave(deepbench.task("lstm", 512, 25)).platform
+        'brainwave'
     """
     return BrainwavePlatform(model).serve_task(task)
 
@@ -91,6 +106,13 @@ def serve_on_cpu(task: RNNTask, model: CPUServingModel | None = None) -> Serving
     """Run the Xeon Skylake / TensorFlow model.
 
     .. deprecated:: use ``ServingEngine("cpu")``.
+
+    Example::
+
+        >>> from repro import serve_on_cpu
+        >>> from repro.workloads import deepbench
+        >>> serve_on_cpu(deepbench.task("lstm", 512, 25)).platform
+        'cpu'
     """
     return CPUPlatform(model).serve_task(task)
 
@@ -99,5 +121,12 @@ def serve_on_gpu(task: RNNTask, model: GPUServingModel | None = None) -> Serving
     """Run the Tesla V100 / cuDNN model.
 
     .. deprecated:: use ``ServingEngine("gpu")``.
+
+    Example::
+
+        >>> from repro import serve_on_gpu
+        >>> from repro.workloads import deepbench
+        >>> serve_on_gpu(deepbench.task("lstm", 512, 25)).platform
+        'gpu'
     """
     return GPUPlatform(model).serve_task(task)

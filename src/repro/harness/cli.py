@@ -49,11 +49,15 @@ def _cmd_claims(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    from repro.serving import available_platforms
+    from repro.serving import available_platforms, get_platform
     from repro.workloads.deepbench import task
 
     t = task(args.kind, args.hidden, args.timesteps)
-    names = [args.platform] if args.platform else list(available_platforms())
+    if args.platform:
+        get_platform(args.platform)  # fail fast with the registry's message
+        names = [args.platform]
+    else:
+        names = list(available_platforms())
     if args.stream:
         return _serve_stream_table(args, t, names)
     return _serve_once_table(t, names)
@@ -201,6 +205,36 @@ def _serve_once_table(t, names: list[str]) -> str:
     return format_table(headers, rows, title=f"Serving {t.name}")
 
 
+def _parse_autoscale(spec: str):
+    """Parse ``--autoscale MIN:MAX`` into an Autoscaler."""
+    from repro.errors import ServingError
+    from repro.serving import Autoscaler
+
+    try:
+        lo_text, _, hi_text = spec.partition(":")
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError as exc:
+        raise ServingError(
+            f"bad --autoscale spec {spec!r}; expected MIN:MAX replica counts"
+        ) from exc
+    return Autoscaler(min_replicas=lo, max_replicas=hi)
+
+
+def _scale_events_table(name: str, report) -> str:
+    from repro.harness.report import format_table
+
+    rows = [
+        [f"{e.time_s * 1e3:.3f}", e.action, e.replicas, e.queue_depth, e.reason]
+        for e in report.scale_events
+    ]
+    return format_table(
+        ["t ms", "action", "replicas", "queue depth", "reason"],
+        rows,
+        title=f"Scale events ({name}: peak {report.n_replicas} replicas, "
+        f"{report.active_replicas} active at end)",
+    )
+
+
 def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     from repro.errors import ServingError
     from repro.harness.report import format_table
@@ -208,46 +242,66 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
 
     if args.replicas < 1:
         raise ServingError("--replicas must be >= 1")
+    autoscaler = _parse_autoscale(args.autoscale) if args.autoscale else None
     arrivals, desc = _build_stream(args, t)
+    batched = args.batcher != "none"
     rows = []
     breakdowns = []
     for name in names:
-        if args.replicas > 1:
+        if args.replicas > 1 or autoscaler is not None:
             server = Fleet(name, replicas=args.replicas, policy=args.policy)
+            report = server.serve_stream(
+                arrivals,
+                slo_ms=args.slo_ms,
+                scheduler=args.scheduler,
+                batcher=args.batcher,
+                max_batch=args.max_batch,
+                autoscaler=autoscaler,
+            )
         else:
-            server = ServingEngine(name)
-        report = server.serve_stream(
-            arrivals, slo_ms=args.slo_ms, scheduler=args.scheduler
-        )
+            report = ServingEngine(name).serve_stream(
+                arrivals,
+                slo_ms=args.slo_ms,
+                scheduler=args.scheduler,
+                batcher=args.batcher,
+                max_batch=args.max_batch,
+            )
         mean_service_ms = (
             sum(r.service_s for r in report.responses) * 1e3 / report.n_requests
         )
-        rows.append(
-            [
-                name,
-                mean_service_ms,
-                report.p50_ms,
-                report.p99_ms,
-                report.mean_queue_delay_ms,
-                round(report.max_rate_per_s, 1),
-                f"{100.0 * report.slo_attainment:.1f}%",
-                "SATURATED" if report.saturated else
-                ("yes" if report.slo_attained else "NO"),
-            ]
-        )
+        row = [
+            name,
+            mean_service_ms,
+            report.p50_ms,
+            report.p99_ms,
+            report.mean_queue_delay_ms,
+            round(report.max_rate_per_s, 1),
+            f"{100.0 * report.slo_attainment:.1f}%",
+            "SATURATED" if report.saturated else
+            ("yes" if report.slo_attained else "NO"),
+        ]
+        if batched:
+            row.insert(2, round(report.mean_batch_size, 2))
+        rows.append(row)
         if len(report.tenants) > 1:
             breakdowns.append(_tenant_breakdown_table(name, report, args.slo_ms))
+        if report.scale_events:
+            breakdowns.append(_scale_events_table(name, report))
     title = (
         f"Streaming {desc} "
         f"({len(arrivals)} requests, {args.replicas} replica(s), {args.policy}, "
-        f"{args.scheduler})"
+        f"{args.scheduler}"
     )
-    main_table = format_table(
-        ["platform", "service ms", "P50 ms", "P99 ms", "queue ms", "max req/s",
-         "SLO attained", f"P99<={args.slo_ms}ms"],
-        rows,
-        title=title,
-    )
+    if batched:
+        title += f", {args.batcher} batching <= {args.max_batch}"
+    if autoscaler is not None:
+        title += f", autoscale {args.autoscale}"
+    title += ")"
+    headers = ["platform", "service ms", "P50 ms", "P99 ms", "queue ms",
+               "max req/s", "SLO attained", f"P99<={args.slo_ms}ms"]
+    if batched:
+        headers.insert(2, "mean batch")
+    main_table = format_table(headers, rows, title=title)
     parts = [main_table, *breakdowns]
     if args.record_trace:
         parts.append(f"[trace recorded: {args.record_trace}]")
@@ -300,19 +354,35 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_claims
     )
 
+    # Choices come from the live registries, so platforms, schedulers,
+    # and batchers registered by plugins show up in --help automatically.
+    from repro.serving import (
+        SCHEDULING_POLICIES,
+        available_batchers,
+        available_platforms,
+        available_schedulers,
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve one task on a registered platform (default: all)",
         description="Serve a DeepBench task through the serving engine. "
-        "With --stream, run a Poisson request stream through the FIFO "
-        "queue simulation and report P50/P99 against the SLO.",
+        "With --stream, run a Poisson request stream through the "
+        "discrete-event queue simulation and report P50/P99 against the "
+        "SLO.",
+        epilog="The --mix mini-grammar "
+        "(kind:hidden[:timesteps][@slo_ms][^priority]) and the full "
+        "serving CLI reference are documented in docs/CLI.md.",
     )
     serve.add_argument("kind", choices=["lstm", "gru"], nargs="?", default="lstm")
     serve.add_argument("hidden", type=int, nargs="?", default=512)
     serve.add_argument("timesteps", type=int, nargs="?", default=None)
     serve.add_argument(
         "--platform",
-        help="registered platform name (default: every registered platform)",
+        metavar="NAME",
+        help="registered platform name, one of: "
+        f"{', '.join(available_platforms())} "
+        "(default: every registered platform)",
     )
     serve.add_argument(
         "--stream", action="store_true", help="simulate a Poisson request stream"
@@ -332,21 +402,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--policy",
-        choices=["round-robin", "least-loaded"],
+        choices=SCHEDULING_POLICIES,
         default="least-loaded",
         help="fleet dispatch policy (stream mode)",
     )
     serve.add_argument(
         "--scheduler",
-        choices=["fifo", "priority", "edf", "sjf", "coalesce"],
+        choices=available_schedulers(),
         default="fifo",
         help="per-replica queue discipline (stream mode)",
     )
     serve.add_argument(
+        "--batcher",
+        choices=available_batchers(),
+        default="none",
+        help="per-replica dynamic batching policy (stream mode); "
+        "'none' serves batch-1 like the paper",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="batch-size cap for the batching policy (stream mode)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        metavar="MIN:MAX",
+        help="autoscale fleet replicas between MIN and MAX against queue "
+        "depth and SLO pressure (stream mode; starts at MIN)",
+    )
+    serve.add_argument(
         "--mix",
         help="multi-tenant workload: comma-separated "
-        "kind:hidden[:timesteps][@slo_ms][^priority] specs; --rate and "
-        "--requests are split evenly across tenants",
+        "kind:hidden[:timesteps][@slo_ms][^priority] specs (see "
+        "docs/CLI.md); --rate and --requests are split evenly across "
+        "tenants",
     )
     serve.add_argument(
         "--trace",

@@ -14,13 +14,20 @@ way real accelerator deployments are:
   :func:`mix` combinator for multi-tenant workloads.
 * :mod:`repro.serving.scheduler` — the :class:`Scheduler` registry:
   FIFO, strict priority, EDF, SJF, and compile-cache-aware coalescing.
+* :mod:`repro.serving.batching` — the :class:`Batcher` registry: the
+  batch-1 ``none`` default plus ``size-cap`` / ``time-window`` /
+  ``adaptive`` dynamic batching, costed by each platform's pipeline
+  model (setup once, steady-state per item).
+* :mod:`repro.serving.autoscaler` — queue-depth/SLO-driven elastic
+  replica scaling for fleet streams, with a :class:`ScaleEvent` log.
 * :mod:`repro.serving.events` — the shared heap-based discrete-event
   loop behind every stream simulation.
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, one
   accelerator's compile-once session with ``serve`` / ``serve_batch`` /
   ``serve_stream`` (queueing + SLO/tenant/priority accounting).
 * :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
-  round-robin or least-loaded dispatcher, each with its own scheduler.
+  round-robin or least-loaded dispatcher, each with its own scheduler
+  and batcher.
 
 Quickstart::
 
@@ -37,6 +44,18 @@ Quickstart::
     print(report.p50_ms, report.p99_ms, report.slo_miss_rate)
 """
 
+from repro.serving.autoscaler import Autoscaler, ScaleDecision, ScaleEvent
+from repro.serving.batching import (
+    AdaptiveBatcher,
+    Batcher,
+    NoneBatcher,
+    SizeCapBatcher,
+    TimeWindowBatcher,
+    available_batchers,
+    get_batcher,
+    make_batcher,
+    register_batcher,
+)
 from repro.serving.engine import (
     CacheStats,
     ServeRequest,
@@ -46,7 +65,7 @@ from repro.serving.engine import (
     poisson_arrivals,
     uniform_arrivals,
 )
-from repro.serving.events import run_stream
+from repro.serving.events import StreamOutcome, run_stream
 from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
 from repro.serving.platform import (
     Platform,
@@ -114,6 +133,19 @@ __all__ = [
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "Batcher",
+    "NoneBatcher",
+    "SizeCapBatcher",
+    "TimeWindowBatcher",
+    "AdaptiveBatcher",
+    "register_batcher",
+    "get_batcher",
+    "available_batchers",
+    "make_batcher",
+    "Autoscaler",
+    "ScaleDecision",
+    "ScaleEvent",
+    "StreamOutcome",
     "Fleet",
     "FleetReport",
     "SCHEDULING_POLICIES",

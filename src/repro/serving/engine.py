@@ -35,6 +35,8 @@ from functools import cached_property
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServingError
+from repro.serving.autoscaler import ScaleEvent
+from repro.serving.batching import Batcher, make_batcher
 from repro.serving.events import run_stream
 from repro.serving.platform import Platform, PreparedModel, get_platform
 from repro.serving.request import ServeRequest, ServeResponse
@@ -56,7 +58,18 @@ __all__ = [
 
 @dataclass
 class CacheStats:
-    """Prepared-model cache counters."""
+    """Prepared-model cache counters.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine
+        >>> from repro.workloads.deepbench import task
+        >>> engine = ServingEngine("gpu")
+        >>> _ = engine.serve(task("lstm", 512, 25))   # compile miss
+        >>> _ = engine.serve(task("lstm", 512, 25))   # cache hit
+        >>> (engine.cache_stats.hits, engine.cache_stats.misses)
+        (1, 1)
+    """
 
     hits: int = 0
     misses: int = 0
@@ -85,13 +98,31 @@ class StreamReport:
 
     Responses are ordered by arrival, whatever order the scheduler
     actually served them in; ``per_tenant()`` and ``per_priority()``
-    slice the same stream into per-class sub-reports.
+    slice the same stream into per-class sub-reports.  ``batcher``
+    records the batching policy that ran the stream (``"none"`` = the
+    paper's batch-1 serving) and ``scale_events`` any autoscaler actions
+    applied during it.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> report = ServingEngine("gpu").serve_stream(
+        ...     uniform_arrivals(task("lstm", 512, 25),
+        ...                      rate_per_s=100, n_requests=50),
+        ...     slo_ms=5.0)
+        >>> (report.n_requests, report.scheduler, report.batcher)
+        (50, 'fifo', 'none')
+        >>> report.p50_ms <= report.p99_ms
+        True
     """
 
     platform: str
     responses: tuple[ServeResponse, ...] = field(repr=False)
     slo_ms: float | None = None
     scheduler: str = "fifo"
+    batcher: str = "none"
+    scale_events: tuple[ScaleEvent, ...] = field(default=(), repr=False)
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -122,6 +153,26 @@ class StreamReport:
     @property
     def mean_queue_delay_ms(self) -> float:
         return sum(r.queue_delay_s for r in self.responses) * 1e3 / self.n_requests
+
+    # -- batching ---------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size across requests (1.0 = unbatched)."""
+        return sum(r.batch_size for r in self.responses) / self.n_requests
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest batch any request was served in."""
+        return max(r.batch_size for r in self.responses)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of stream makespan."""
+        makespan = max(r.finish_s for r in self.responses)
+        if makespan <= 0:
+            return math.inf
+        return self.n_requests / makespan
 
     @property
     def offered_rate_per_s(self) -> float:
@@ -189,12 +240,14 @@ class StreamReport:
 
     def _subset(self, responses: Iterable[ServeResponse]) -> "StreamReport":
         # Deliberately a plain StreamReport (not type(self)): subclass
-        # extras such as fleet assignments do not slice meaningfully.
+        # extras such as fleet assignments do not slice meaningfully, and
+        # scale events are stream-wide rather than per-class.
         return StreamReport(
             platform=self.platform,
             responses=tuple(responses),
             slo_ms=self.slo_ms,
             scheduler=self.scheduler,
+            batcher=self.batcher,
         )
 
     def per_tenant(self) -> dict[str, "StreamReport"]:
@@ -225,6 +278,16 @@ class ServingEngine:
             shared dict so replicas compile each task only once.
         **platform_options: Forwarded to the platform constructor when
             ``platform`` is a key.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine
+        >>> from repro.workloads.deepbench import task
+        >>> engine = ServingEngine("gpu")
+        >>> first = engine.serve(task("lstm", 512, 25))    # compiles
+        >>> again = engine.serve(task("lstm", 512, 25))    # cache hit
+        >>> first.result == again.result, engine.cache_stats.misses
+        (True, 1)
     """
 
     def __init__(
@@ -288,9 +351,35 @@ class ServingEngine:
 
         Results are identical to calling :meth:`serve` per request; the
         batch path exists so callers can hand over a workload in one call
-        and still hit the prepared-model cache across duplicates.
+        and still hit the prepared-model cache across duplicates.  For a
+        *coalesced* execution of same-task requests, see
+        :meth:`serve_batched`.
         """
         return tuple(self.serve(r) for r in requests)
+
+    def serve_batched(self, task: RNNTask, batch_size: int) -> ServingResult:
+        """Serve ``batch_size`` same-task requests as one batched execution.
+
+        Uses the platform's batched cost model (setup once, steady-state
+        per item — see :meth:`Platform.batch_latency_s
+        <repro.serving.platform.Platform.batch_latency_s>`) against the
+        cached prepared model.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine
+            >>> from repro.workloads.deepbench import task
+            >>> engine = ServingEngine("gpu")
+            >>> t1 = engine.serve(task("lstm", 512, 25)).result.latency_s
+            >>> res = engine.serve_batched(task("lstm", 512, 25), 8)
+            >>> (res.batch_size, res.latency_s < 8 * t1)
+            (8, True)
+        """
+        return self.platform.serve_batched(self.prepare(task), batch_size)
+
+    def batch_latency_s(self, task: RNNTask, batch_size: int) -> float:
+        """Latency of a batched execution, from the cached prepared model."""
+        return self.platform.batch_latency_s(self.prepare(task), batch_size)
 
     def serve_stream(
         self,
@@ -298,29 +387,41 @@ class ServingEngine:
         *,
         slo_ms: float | None = None,
         scheduler: str | Scheduler | Callable[[], Scheduler] = "fifo",
+        batcher: str | Batcher | Callable[[], Batcher] = "none",
+        max_batch: int | None = None,
     ) -> StreamReport:
         """Run a timestamped stream through a single-server queue.
 
-        Requests are served one at a time (batch 1, as the paper's
-        serving scenario demands) by the shared discrete-event loop; the
-        ``scheduler`` picks the queue discipline (``"fifo"`` reproduces
-        the classic arrival-order simulation exactly).  Arrivals may be
-        given in any order — they are sorted internally, so pre-sorting
-        the input buys nothing and is deprecated as a contract; merged
-        multi-stream inputs must carry globally unique request ids (use
-        :func:`repro.serving.traffic.mix`).
+        The ``scheduler`` picks the queue discipline (``"fifo"``
+        reproduces the classic arrival-order simulation exactly) and the
+        ``batcher`` the dynamic batching policy — the default ``"none"``
+        serves one request at a time (batch 1, as the paper's serving
+        scenario demands) and is bit-identical to the historical
+        behaviour; ``"size-cap"``, ``"time-window"``, and ``"adaptive"``
+        coalesce queued same-task requests into batched executions (see
+        :mod:`repro.serving.batching`).  ``max_batch`` forwards to the
+        named batching policy's cap.
+
+        Arrivals may be given in any order — they are sorted internally,
+        so pre-sorting the input buys nothing and is deprecated as a
+        contract; merged multi-stream inputs must carry globally unique
+        request ids (use :func:`repro.serving.traffic.mix`).
         """
         sched = make_scheduler(scheduler)
-        responses, _ = run_stream(
+        options = {} if max_batch is None else {"max_batch": max_batch}
+        batch_policy = make_batcher(batcher, **options)
+        outcome = run_stream(
             arrivals,
             engines=(self,),
             schedulers=(sched,),
             dispatch=lambda seq, req, work_until: 0,
             slo_ms=slo_ms,
+            batchers=(batch_policy,),
         )
         return StreamReport(
             platform=self.platform_name,
-            responses=tuple(responses),
+            responses=tuple(outcome.responses),
             slo_ms=slo_ms,
             scheduler=sched.name,
+            batcher=batch_policy.name,
         )

@@ -2,29 +2,39 @@
 
 One simulation drives both :meth:`ServingEngine.serve_stream` (a single
 replica) and :meth:`Fleet.serve_stream` (N replicas behind a
-dispatcher).  Two event kinds flow through a single heap:
+dispatcher).  Three event kinds flow through a single heap:
 
-* ``ARRIVAL`` — a request enters the system.  The dispatcher picks a
+* ``FREE`` — a replica finishes an execution and consults its batcher
+  for the next one.
+* ``ARRIVAL`` — a request enters the system.  The autoscaler (if any)
+  may first resize the active replica set; the dispatcher then picks a
   replica, the replica's engine prepares/serves the model (compile-once
   cache; service times are deterministic per platform+task), and the
   request joins that replica's ready queue under its scheduler.
-* ``FREE`` — a replica finishes a request and pops its scheduler for
-  the next one.
+* ``LAUNCH`` — a batcher held an idle replica open to let a batch
+  accumulate (see :mod:`repro.serving.batching`); the hold expires and
+  the replica launches whatever is ready.  Sorted after arrivals at
+  equal timestamps so a request arriving exactly at the deadline still
+  joins the batch.
 
 The loop is O(n log n) in the number of requests: each request costs a
 constant number of heap and scheduler operations.  With the FIFO
-scheduler the timeline it produces is bit-for-bit identical to the
-pre-refactor sequential simulations (pinned by the golden parity tests):
-``start = max(arrival, replica_free_at)`` is evaluated with the same
-floats in the same order.
+scheduler and the ``"none"`` batcher the timeline it produces is
+bit-for-bit identical to the pre-refactor sequential simulations (pinned
+by the golden parity tests): ``start = max(arrival, replica_free_at)``
+is evaluated with the same floats in the same order, and no ``LAUNCH``
+events are ever created.
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.errors import ServingError
+from repro.serving.autoscaler import Autoscaler, ScaleEvent
+from repro.serving.batching import Batcher, NoneBatcher
 from repro.serving.request import ServeRequest, ServeResponse
 from repro.serving.scheduler import QueuedRequest, Scheduler
 from repro.workloads.deepbench import RNNTask
@@ -32,17 +42,55 @@ from repro.workloads.deepbench import RNNTask
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serving.engine import ServingEngine
 
-__all__ = ["normalize_arrivals", "run_stream"]
+__all__ = ["normalize_arrivals", "run_stream", "StreamOutcome"]
 
 #: Event kinds; FREE sorts before ARRIVAL at equal timestamps so an
-#: arrival always sees the replica's settled state.  (Either order
-#: yields identical timelines — ``start = max(arrival, now)`` — this
-#: just fixes the iteration order deterministically.)
-_FREE, _ARRIVAL = 0, 1
+#: arrival always sees the replica's settled state, and LAUNCH sorts
+#: after ARRIVAL so a same-instant arrival can join the launching batch.
+_FREE, _ARRIVAL, _LAUNCH = 0, 1, 2
 
-#: Dispatcher: (seq, request, projected per-replica completion times)
-#: -> replica index.
+#: Dispatcher: (seq, request, projected per-replica completion times of
+#: the *active* replicas) -> replica index.
 Dispatcher = Callable[[int, ServeRequest, Sequence[float]], int]
+
+#: Factory appending one replica: () -> (engine, scheduler, batcher).
+ReplicaFactory = Callable[[], "tuple[ServingEngine, Scheduler, Batcher]"]
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """Everything one stream simulation produced.
+
+    Attributes:
+        responses: One response per request, in arrival order.
+        assignments: Replica index per request, in arrival order.
+        scale_events: Autoscaler actions applied during the run.
+        n_replicas: Total replicas that existed by the end (grown
+            replicas included) — the peak capacity the run used.
+        active_replicas: Replicas still active when the stream drained
+            (equal to ``n_replicas`` unless the autoscaler scaled down).
+
+    Example::
+
+        >>> from repro.serving import ServingEngine, uniform_arrivals
+        >>> from repro.serving.events import run_stream
+        >>> from repro.serving.scheduler import make_scheduler
+        >>> from repro.workloads.deepbench import task
+        >>> engine = ServingEngine("gpu")
+        >>> arrivals = uniform_arrivals(task("lstm", 512, 25),
+        ...                             rate_per_s=100, n_requests=3)
+        >>> out = run_stream(arrivals, engines=(engine,),
+        ...                  schedulers=(make_scheduler("fifo"),),
+        ...                  dispatch=lambda seq, req, work: 0)
+        >>> (len(out.responses), out.assignments, out.n_replicas)
+        (3, [0, 0, 0], 1)
+    """
+
+    responses: "list[ServeResponse]"
+    assignments: list[int]
+    scale_events: tuple[ScaleEvent, ...] = ()
+    n_replicas: int = 1
+    active_replicas: int = 1
 
 
 def normalize_arrivals(
@@ -56,6 +104,17 @@ def normalize_arrivals(
     almost always collides on ids (every generator numbers from 0), which
     silently breaks FIFO tie-breaking and per-request accounting — use
     :func:`repro.serving.traffic.mix`, which re-numbers globally.
+
+    Example::
+
+        >>> from repro.serving.events import normalize_arrivals
+        >>> from repro.serving import ServeRequest
+        >>> from repro.workloads.deepbench import task
+        >>> t = task("lstm", 512, 25)
+        >>> reqs = [ServeRequest(task=t, arrival_s=0.2, request_id=1),
+        ...         ServeRequest(task=t, arrival_s=0.1, request_id=0)]
+        >>> [r.request_id for r in normalize_arrivals(reqs)]
+        [0, 1]
     """
     requests: list[ServeRequest] = []
     for position, item in enumerate(arrivals):
@@ -87,65 +146,191 @@ def run_stream(
     schedulers: Sequence[Scheduler],
     dispatch: Dispatcher,
     slo_ms: float | None = None,
-) -> tuple[list[ServeResponse], list[int]]:
+    batchers: Sequence[Batcher] | None = None,
+    autoscaler: Autoscaler | None = None,
+    replica_factory: ReplicaFactory | None = None,
+) -> StreamOutcome:
     """Simulate a timestamped stream over one or more replicas.
 
     Args:
         arrivals: The request stream (any order; sorted internally).
-        engines: One :class:`ServingEngine` per replica.
+        engines: One :class:`ServingEngine` per starting replica.
         schedulers: One scheduler per replica (same length as engines).
         dispatch: Assigns each arrival to a replica, given the projected
-            completion time of all work already assigned to each replica
-            (the classic join-the-shortest-queue signal).
+            completion time of all work already assigned to each *active*
+            replica (the classic join-the-shortest-queue signal).
         slo_ms: Stream-level SLO; per-request ``slo_ms`` overrides it
-            when computing deadlines for deadline-aware schedulers.
+            when computing deadlines for deadline-aware schedulers and
+            SLO-aware batching.
+        batchers: One batching policy per replica; defaults to the
+            ``"none"`` policy everywhere (classic batch-1 serving).
+        autoscaler: Optional policy resizing the active replica set as
+            the stream runs; evaluated on every arrival and completion.
+        replica_factory: Grows the fleet on scale-up; required when
+            ``autoscaler`` may target more replicas than ``engines``.
 
     Returns:
-        ``(responses, assignments)``, both indexed by arrival order —
-        response ``i`` answers the ``i``-th request in arrival order no
-        matter when the scheduler actually served it.
+        A :class:`StreamOutcome`; its responses and assignments are
+        indexed by arrival order — response ``i`` answers the ``i``-th
+        request in arrival order no matter when (or in which batch) the
+        scheduler actually served it.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine, uniform_arrivals
+        >>> from repro.serving.events import run_stream
+        >>> from repro.serving.scheduler import make_scheduler
+        >>> from repro.workloads.deepbench import task
+        >>> out = run_stream(
+        ...     uniform_arrivals(task("lstm", 512, 25),
+        ...                      rate_per_s=200, n_requests=4),
+        ...     engines=(ServingEngine("gpu"),),
+        ...     schedulers=(make_scheduler("fifo"),),
+        ...     dispatch=lambda seq, req, work: 0)
+        >>> [r.request.request_id for r in out.responses]
+        [0, 1, 2, 3]
     """
-    if len(engines) != len(schedulers):
-        raise ServingError("need exactly one scheduler per replica")
+    engine_list = list(engines)
+    scheduler_list = list(schedulers)
+    batcher_list = (
+        [NoneBatcher() for _ in engine_list] if batchers is None else list(batchers)
+    )
+    if not (len(engine_list) == len(scheduler_list) == len(batcher_list)):
+        raise ServingError("need exactly one scheduler and batcher per replica")
     ordered = normalize_arrivals(arrivals)
     n = len(ordered)
-    n_replicas = len(engines)
 
     responses: list[ServeResponse | None] = [None] * n
     assignments: list[int] = [-1] * n
     #: Projected completion of all work assigned to each replica; the
-    #: dispatch signal (identical to the pre-refactor ``free_at``).
-    work_until = [0.0] * n_replicas
-    busy = [False] * n_replicas
+    #: dispatch signal (identical to the pre-refactor ``free_at``).  The
+    #: projection assumes unbatched service, so with batching it is an
+    #: upper bound — still the right join-the-shortest-queue signal.
+    work_until = [0.0] * len(engine_list)
+    busy = [False] * len(engine_list)
+    #: Pending LAUNCH deadline per replica (None = not holding); a
+    #: LAUNCH event is stale unless its time matches exactly.
+    hold_at: list[float | None] = [None] * len(engine_list)
+    active = len(engine_list)
+    scale_events: list[ScaleEvent] = []
+
+    def bind_cost(replica: int) -> None:
+        engine = engine_list[replica]
+        batcher_list[replica].bind_cost(
+            lambda task, size, _e=engine: _e.platform.batch_latency_s(
+                _e.prepare(task), size
+            )
+        )
+
+    for replica in range(len(engine_list)):
+        bind_cost(replica)
+    if autoscaler is not None:
+        autoscaler.reset()
 
     events: list[tuple[float, int, int]] = [
         (req.arrival_s, _ARRIVAL, seq) for seq, req in enumerate(ordered)
     ]
     heapq.heapify(events)
 
-    def start_service(replica: int, now: float) -> None:
-        entry = schedulers[replica].pop()
-        req = entry.request
-        start = max(req.arrival_s, now)
-        finish = start + entry.service_s
-        busy[replica] = True
-        responses[entry.seq] = ServeResponse(
-            request=req,
-            result=entry.result,
-            queue_delay_s=start - req.arrival_s,
-            start_s=start,
-            finish_s=finish,
+    def add_replica() -> None:
+        if replica_factory is None:
+            raise ServingError("autoscaler needs a replica_factory to scale up")
+        engine, scheduler, batcher = replica_factory()
+        engine_list.append(engine)
+        scheduler_list.append(scheduler)
+        batcher_list.append(batcher)
+        work_until.append(0.0)
+        busy.append(False)
+        hold_at.append(None)
+        bind_cost(len(engine_list) - 1)
+
+    def autoscale(now: float) -> None:
+        nonlocal active
+        depth = sum(len(scheduler_list[j]) for j in range(active))
+        wait = min(max(work_until[j] - now, 0.0) for j in range(active))
+        decision = autoscaler.decide(
+            now=now,
+            active=active,
+            queue_depth=depth,
+            projected_wait_s=wait,
+            slo_ms=slo_ms,
         )
+        if decision is None or decision.target == active:
+            return
+        while len(engine_list) < decision.target:
+            add_replica()
+        active = decision.target
+        scale_events.append(
+            ScaleEvent(
+                time_s=now,
+                action=decision.action,
+                replicas=active,
+                queue_depth=depth,
+                reason=decision.reason,
+            )
+        )
+
+    def launch(replica: int, now: float) -> None:
+        queue = scheduler_list[replica]
+        batcher = batcher_list[replica]
+        ready_at = batcher.hold_until(queue, now)
+        if ready_at > now:
+            if hold_at[replica] != ready_at:
+                # A LAUNCH for this exact deadline is not yet scheduled
+                # (re-entered holds with an unchanged deadline reuse the
+                # event already in the heap).
+                hold_at[replica] = ready_at
+                heapq.heappush(events, (ready_at, _LAUNCH, replica))
+            return
+        hold_at[replica] = None
+        entries = batcher.take(queue, now)
+        if not entries:
+            raise ServingError(f"batcher {batcher.name!r} returned an empty batch")
+        head = entries[0]
+        start = max(head.request.arrival_s, now)
+        if len(entries) == 1:
+            # The exact pre-batching arithmetic: parity for batcher="none".
+            finish = start + head.service_s
+            responses[head.seq] = ServeResponse(
+                request=head.request,
+                result=head.result,
+                queue_delay_s=start - head.request.arrival_s,
+                start_s=start,
+                finish_s=finish,
+            )
+        else:
+            if any(e.request.task != head.request.task for e in entries):
+                raise ServingError(
+                    f"batcher {batcher.name!r} coalesced requests for "
+                    f"different tasks into one batch"
+                )
+            engine = engine_list[replica]
+            result = engine.serve_batched(head.request.task, len(entries))
+            finish = start + result.latency_s
+            for index, entry in enumerate(entries):
+                responses[entry.seq] = ServeResponse(
+                    request=entry.request,
+                    result=result,
+                    queue_delay_s=start - entry.request.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                    batch_size=len(entries),
+                    batch_index=index,
+                )
+        busy[replica] = True
         heapq.heappush(events, (finish, _FREE, replica))
 
     while events:
         now, kind, index = heapq.heappop(events)
         if kind == _ARRIVAL:
             req = ordered[index]
-            replica = dispatch(index, req, work_until)
-            if not 0 <= replica < n_replicas:
+            if autoscaler is not None:
+                autoscale(now)
+            view = work_until if active == len(work_until) else work_until[:active]
+            replica = dispatch(index, req, view)
+            if not 0 <= replica < active:
                 raise ServingError(f"dispatcher chose invalid replica {replica}")
-            engine = engines[replica]
+            engine = engine_list[replica]
             result = engine.platform.serve(engine.prepare(req.task))
             entry = QueuedRequest(
                 seq=index,
@@ -158,12 +343,27 @@ def run_stream(
                 max(req.arrival_s, work_until[replica]) + result.latency_s
             )
             assignments[index] = replica
-            schedulers[replica].push(entry)
+            scheduler_list[replica].push(entry)
             if not busy[replica]:
-                start_service(replica, now)
-        else:
+                launch(replica, now)
+        elif kind == _FREE:
             busy[index] = False
-            if len(schedulers[index]):
-                start_service(index, now)
+            if autoscaler is not None:
+                autoscale(now)
+            if len(scheduler_list[index]):
+                launch(index, now)
+        else:  # _LAUNCH: stale unless this exact hold is still pending
+            if busy[index] or hold_at[index] != now:
+                continue
+            if len(scheduler_list[index]):
+                launch(index, now)
+            else:
+                hold_at[index] = None
 
-    return responses, assignments  # type: ignore[return-value]
+    return StreamOutcome(
+        responses=responses,  # type: ignore[arg-type]
+        assignments=assignments,
+        scale_events=tuple(scale_events),
+        n_replicas=len(engine_list),
+        active_replicas=active,
+    )

@@ -13,12 +13,16 @@ a dispatcher.  Two dispatch policies are built in:
 
 Dispatch decides *which replica* gets a request on arrival; each replica
 then orders its own ready queue with a pluggable scheduler
-(:mod:`repro.serving.scheduler` — FIFO, strict priority, EDF, SJF,
-coalescing), one scheduler instance per replica.  The simulation itself
-is the shared heap-based event loop in :mod:`repro.serving.events`.
+(:mod:`repro.serving.scheduler`) and coalesces it with a pluggable
+batching policy (:mod:`repro.serving.batching`), one instance of each
+per replica.  The simulation itself is the shared heap-based event loop
+in :mod:`repro.serving.events`.
 
 Replicas share one prepared-model cache, so a fleet compiles each task
-exactly once no matter how many replicas serve it.
+exactly once no matter how many replicas serve it — including replicas
+added mid-stream by an :class:`~repro.serving.autoscaler.Autoscaler`,
+which grows and shrinks the active set against queue depth and SLO
+pressure and logs its actions on the report.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.errors import ServingError
+from repro.serving.autoscaler import Autoscaler
+from repro.serving.batching import Batcher, make_batcher
 from repro.serving.engine import ServeRequest, ServeResponse, ServingEngine, StreamReport
 from repro.serving.events import run_stream
 from repro.serving.platform import Platform, PreparedModel
@@ -40,13 +46,28 @@ SCHEDULING_POLICIES = ("round-robin", "least-loaded")
 
 @dataclass(frozen=True)
 class FleetReport(StreamReport):
-    """A stream report plus the per-replica assignment it came from."""
+    """A stream report plus the per-replica assignment it came from.
+
+    Example::
+
+        >>> from repro.serving import Fleet, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> fleet = Fleet("gpu", replicas=2, policy="round-robin")
+        >>> report = fleet.serve_stream(uniform_arrivals(
+        ...     task("lstm", 512, 25), rate_per_s=100, n_requests=10))
+        >>> (report.n_replicas, report.per_replica_counts)
+        (2, (5, 5))
+    """
 
     policy: str = "round-robin"
     assignments: tuple[int, ...] = field(default=(), repr=False)
-    #: The fleet's configured replica count — not derived from the
-    #: assignments, so idle replicas still count toward capacity.
+    #: Total replicas the stream used (autoscaled replicas included) —
+    #: the peak capacity, not derived from the assignments, so idle
+    #: replicas still count toward it.
     replicas: int = 1
+    #: Replicas still active when the stream drained; below ``replicas``
+    #: when the autoscaler scaled down.
+    active_replicas: int = 1
 
     @property
     def n_replicas(self) -> int:
@@ -54,7 +75,11 @@ class FleetReport(StreamReport):
 
     @property
     def max_rate_per_s(self) -> float:
-        """Sustainable rate of the whole fleet, not one replica."""
+        """Sustainable rate of the whole fleet, not one replica.
+
+        With autoscaling this is the *peak* capacity the stream reached
+        (``replicas`` engines); the policy can re-grow to it on demand.
+        """
         return super().max_rate_per_s * self.n_replicas
 
     @property
@@ -74,7 +99,15 @@ class FleetReport(StreamReport):
 
 
 class Fleet:
-    """N engine replicas of one platform behind a dispatcher."""
+    """N engine replicas of one platform behind a dispatcher.
+
+    Example::
+
+        >>> from repro.serving import Fleet
+        >>> fleet = Fleet("gpu", replicas=3, policy="least-loaded")
+        >>> (fleet.n_replicas, fleet.platform_name)
+        (3, 'gpu')
+    """
 
     def __init__(
         self,
@@ -96,12 +129,19 @@ class Fleet:
                 "platform options only apply when platform is given by name"
             )
         self.policy = policy
-        shared_cache: dict[RNNTask, PreparedModel] = {}
+        self._platform_spec = platform
+        self._platform_options = platform_options
         # One engine per replica over a shared compile cache: the fleet
-        # prepares each distinct task once, not once per replica.
-        self.engines = tuple(
-            ServingEngine(platform, cache=shared_cache, **platform_options)
-            for _ in range(replicas)
+        # prepares each distinct task once, not once per replica — even
+        # for replicas the autoscaler adds mid-stream.
+        self._shared_cache: dict[RNNTask, PreparedModel] = {}
+        self.engines = tuple(self._new_engine() for _ in range(replicas))
+
+    def _new_engine(self) -> ServingEngine:
+        return ServingEngine(
+            self._platform_spec,
+            cache=self._shared_cache,
+            **self._platform_options,
         )
 
     @property
@@ -113,12 +153,13 @@ class Fleet:
         return self.engines[0].platform_name
 
     def _dispatcher(self) -> Callable:
-        n = self.n_replicas
         if self.policy == "round-robin":
-            return lambda seq, req, work_until: seq % n
+            # len(work_until) is the *active* replica count, which the
+            # autoscaler may change between arrivals.
+            return lambda seq, req, work_until: seq % len(work_until)
         # least-loaded: earliest projected completion wins, low index ties
         return lambda seq, req, work_until: min(
-            range(n), key=lambda j: (work_until[j], j)
+            range(len(work_until)), key=lambda j: (work_until[j], j)
         )
 
     def serve_stream(
@@ -127,33 +168,73 @@ class Fleet:
         *,
         slo_ms: float | None = None,
         scheduler: str | Callable[[], Scheduler] = "fifo",
+        batcher: str | Callable[[], Batcher] = "none",
+        max_batch: int | None = None,
+        autoscaler: Autoscaler | None = None,
     ) -> FleetReport:
         """Dispatch a timestamped stream across the replicas.
 
         The dispatcher assigns every request to a replica on arrival (no
         work stealing afterwards); each replica orders its own ready
-        queue with a fresh instance of ``scheduler`` — pass a registry
-        key or a zero-argument factory, not a shared instance.
+        queue with a fresh instance of ``scheduler`` and coalesces it
+        with a fresh instance of ``batcher`` — pass registry keys or
+        zero-argument factories, not shared instances.  With an
+        ``autoscaler``, the stream starts on the autoscaler's
+        ``min_replicas`` and the active set grows and shrinks as the
+        policy dictates; every replica (initial or grown) shares the
+        fleet's compile cache, and the applied
+        :class:`~repro.serving.autoscaler.ScaleEvent` log lands on the
+        report.
         """
         if isinstance(scheduler, Scheduler):
             raise ServingError(
                 "a fleet needs one scheduler per replica; pass a registry "
                 "key or a factory, not a Scheduler instance"
             )
-        schedulers = tuple(make_scheduler(scheduler) for _ in self.engines)
-        responses, assignments = run_stream(
+        if isinstance(batcher, Batcher):
+            raise ServingError(
+                "a fleet needs one batcher per replica; pass a registry "
+                "key or a factory, not a Batcher instance"
+            )
+        options = {} if max_batch is None else {"max_batch": max_batch}
+
+        def new_scheduler() -> Scheduler:
+            return make_scheduler(scheduler)
+
+        def new_batcher() -> Batcher:
+            return make_batcher(batcher, **options)
+
+        engines = list(self.engines)
+        if autoscaler is not None:
+            # Start at the policy floor; growth happens via the factory.
+            while len(engines) < autoscaler.min_replicas:
+                engines.append(self._new_engine())
+            del engines[max(autoscaler.min_replicas, 1):]
+        schedulers = [new_scheduler() for _ in engines]
+        batchers = [new_batcher() for _ in engines]
+
+        def replica_factory() -> tuple[ServingEngine, Scheduler, Batcher]:
+            return self._new_engine(), new_scheduler(), new_batcher()
+
+        outcome = run_stream(
             arrivals,
-            engines=self.engines,
+            engines=engines,
             schedulers=schedulers,
+            batchers=batchers,
             dispatch=self._dispatcher(),
             slo_ms=slo_ms,
+            autoscaler=autoscaler,
+            replica_factory=replica_factory,
         )
         return FleetReport(
             platform=self.platform_name,
-            responses=tuple(responses),
+            responses=tuple(outcome.responses),
             slo_ms=slo_ms,
             scheduler=schedulers[0].name,
+            batcher=batchers[0].name,
+            scale_events=outcome.scale_events,
             policy=self.policy,
-            assignments=tuple(assignments),
-            replicas=self.n_replicas,
+            assignments=tuple(outcome.assignments),
+            replicas=outcome.n_replicas,
+            active_replicas=outcome.active_replicas,
         )

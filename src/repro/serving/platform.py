@@ -27,7 +27,7 @@ scheduler without touching any of them.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, TypeVar
 
 from repro.errors import ServingError
@@ -54,6 +54,14 @@ class PreparedModel:
             simulation, precomputed model outputs, ...).  Only the
             owning platform interprets it.
         notes: Human-readable remarks from the compile phase.
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> prepared = get_platform("gpu").prepare(task("lstm", 512, 25))
+        >>> prepared.platform, prepared.task.name
+        ('gpu', 'lstm-h512-t25')
     """
 
     platform: str
@@ -63,10 +71,41 @@ class PreparedModel:
 
 
 class Platform(ABC):
-    """A registered serving platform: compile once, serve many."""
+    """A registered serving platform: compile once, serve many.
+
+    Subclasses implement :meth:`prepare` (one-time compile) and
+    :meth:`serve` (steady-state batch-1 request).  The batched cost
+    model — :meth:`batch_latency_s` / :meth:`serve_batched` — comes for
+    free from the paper's pipeline decomposition: a batch-B execution of
+    one task costs the one-time setup (pipeline fill, instruction issue,
+    kernel launch) once, plus B times the steady-state per-item work.
+    Platforms tune it with :attr:`batch_setup_fraction` or override the
+    methods outright (Plasticine derives the split exactly from its
+    cycle simulation).
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> gpu = get_platform("gpu")
+        >>> prepared = gpu.prepare(task("lstm", 512, 25))
+        >>> t1 = gpu.batch_latency_s(prepared, 1)
+        >>> t1 == gpu.serve(prepared).latency_s     # B=1 is exact
+        True
+        >>> gpu.batch_latency_s(prepared, 8) < 8 * t1   # batching amortizes
+        True
+    """
 
     #: Registry key; set by :func:`register_platform`.
     name: str = "?"
+
+    #: Fraction of the batch-1 serving latency that is one-time per-batch
+    #: setup rather than per-item steady-state work.  ``0.0`` (the
+    #: default) means batching buys nothing: a batch of B takes B times
+    #: the batch-1 latency.  Platforms with expensive per-batch setup
+    #: (weight streaming, kernel launch, pipeline fill) override this or
+    #: :meth:`batch_latency_s` itself.
+    batch_setup_fraction: float = 0.0
 
     @abstractmethod
     def prepare(self, task: RNNTask) -> PreparedModel:
@@ -80,6 +119,44 @@ class Platform(ABC):
         """Convenience: prepare-then-serve in one call (no caching)."""
         return self.serve(self.prepare(task))
 
+    def batch_latency_s(self, prepared: PreparedModel, batch_size: int) -> float:
+        """Latency of serving ``batch_size`` same-task requests together.
+
+        The paper's pipeline model: ``setup + B * steady``, where the
+        batch-1 latency splits into ``setup = t1 * batch_setup_fraction``
+        and ``steady = t1 - setup``.  ``batch_latency_s(prepared, 1)`` is
+        exactly the batch-1 serving latency on every platform, so the
+        ``"none"`` batching policy cannot drift from unbatched serving.
+        """
+        self._check_prepared(prepared)
+        _check_batch_size(batch_size)
+        t1 = self.serve(prepared).latency_s
+        setup = t1 * self.batch_setup_fraction
+        return setup + batch_size * (t1 - setup)
+
+    def serve_batched(self, prepared: PreparedModel, batch_size: int) -> ServingResult:
+        """Serve a batch of same-task requests as one execution.
+
+        Returns one :class:`~repro.serving.result.ServingResult` for the
+        whole batch: ``latency_s`` is the batch completion time from
+        :meth:`batch_latency_s`, ``effective_tflops`` counts all B
+        requests' work, and ``batch_size`` records the coalesced size.
+        ``batch_size=1`` returns the plain :meth:`serve` result, bit for
+        bit.
+        """
+        self._check_prepared(prepared)
+        _check_batch_size(batch_size)
+        base = self.serve(prepared)
+        if batch_size == 1:
+            return base
+        latency_s = self.batch_latency_s(prepared, batch_size)
+        return replace(
+            base,
+            latency_s=latency_s,
+            effective_tflops=prepared.task.effective_tflops(latency_s) * batch_size,
+            batch_size=batch_size,
+        )
+
     def _check_prepared(self, prepared: PreparedModel) -> None:
         """Guard against handing one platform another's compiled state."""
         if prepared.platform != self.name:
@@ -89,13 +166,40 @@ class Platform(ABC):
             )
 
 
+def _check_batch_size(batch_size: int) -> None:
+    if not isinstance(batch_size, int) or batch_size < 1:
+        raise ServingError(f"batch_size must be a positive int, got {batch_size!r}")
+
+
 _REGISTRY: dict[str, type[Platform]] = {}
 
 P = TypeVar("P", bound=type[Platform])
 
 
 def register_platform(name: str) -> Callable[[P], P]:
-    """Class decorator: register a :class:`Platform` under ``name``."""
+    """Class decorator: register a :class:`Platform` under ``name``.
+
+    Registering a second class under an existing name raises
+    :class:`~repro.errors.ServingError` — silent replacement would let a
+    plugin hijack a built-in platform.
+
+    Example::
+
+        >>> from repro.serving import register_platform, Platform
+        >>> from repro.serving.platform import unregister_platform
+        >>> @register_platform("null")
+        ... class NullPlatform(Platform):
+        ...     def prepare(self, task):
+        ...         from repro.serving.platform import PreparedModel
+        ...         return PreparedModel("null", task, state=None)
+        ...     def serve(self, prepared):
+        ...         from repro.serving.result import ServingResult
+        ...         return ServingResult("null", prepared.task, 1e-3, 0.0)
+        >>> from repro.serving import available_platforms
+        >>> "null" in available_platforms()
+        True
+        >>> unregister_platform("null")
+    """
 
     def decorate(cls: P) -> P:
         if not (isinstance(cls, type) and issubclass(cls, Platform)):
@@ -118,7 +222,15 @@ def unregister_platform(name: str) -> None:
 
 
 def available_platforms() -> tuple[str, ...]:
-    """Sorted keys of every registered platform."""
+    """Sorted keys of every registered platform.
+
+    Example::
+
+        >>> from repro.serving import available_platforms
+        >>> [p for p in ("brainwave", "cpu", "gpu", "plasticine")
+        ...  if p in available_platforms()]
+        ['brainwave', 'cpu', 'gpu', 'plasticine']
+    """
     _ensure_builtin()
     return tuple(sorted(_REGISTRY))
 
@@ -128,6 +240,12 @@ def get_platform(name: str, **options: Any) -> Platform:
 
     Keyword options are forwarded to the platform constructor (e.g.
     ``get_platform("plasticine", bits=8)``).
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> get_platform("brainwave").name
+        'brainwave'
     """
     _ensure_builtin()
     try:

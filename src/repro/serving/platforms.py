@@ -21,7 +21,12 @@ from repro.plasticine.area_power import ActivityProfile, AreaPowerModel
 from repro.plasticine.chip import PlasticineConfig
 from repro.plasticine.simulator import SimulationResult, simulate_pipeline
 from repro.rnn.lstm_loop import LoopParams
-from repro.serving.platform import Platform, PreparedModel, register_platform
+from repro.serving.platform import (
+    Platform,
+    PreparedModel,
+    _check_batch_size,
+    register_platform,
+)
 from repro.serving.result import ServingResult
 from repro.workloads.deepbench import RNNTask
 
@@ -51,6 +56,23 @@ class PlasticinePlatform(Platform):
     ``prepare`` runs the whole compile pipeline — parameter selection
     (paper Table 7 or the DSE), program construction, mapping/placement,
     and the cycle simulation — so ``serve`` only assembles the result row.
+
+    The batched cost model is exact rather than a tuned fraction: the
+    cycle simulation splits a request into per-step steady-state cycles
+    and a one-time pipeline fill, and back-to-back same-task requests
+    keep the pipeline full, so a batch of B costs ``fill + B * steady``
+    cycles.  The fill is small — which is the paper's point: Plasticine
+    hits high utilization at batch 1 and does not need batching the way
+    the throughput-oriented baselines do.
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> plat = get_platform("plasticine")
+        >>> prepared = plat.prepare(task("lstm", 512, 25))  # full compile
+        >>> plat.serve(prepared).latency_ms < 5.0           # paper's window
+        True
     """
 
     def __init__(
@@ -120,6 +142,29 @@ class PlasticinePlatform(Platform):
             notes=prepared.notes,
         )
 
+    def batch_latency_s(self, prepared: PreparedModel, batch_size: int) -> float:
+        """Exact pipeline model from the cycle simulation.
+
+        Within one request the ``h_t`` feedback serializes time steps, so
+        a step costs its full fill + drain + bottleneck time.  Requests
+        in a batch are independent, though: their iterations interleave
+        through the pipeline, so each step's fill/drain and sequencing
+        overhead is paid once per step while the bottleneck stage (the
+        largest per-step busy-cycle count) runs ``B`` requests' worth of
+        iterations back to back.  ``batch_size=1`` reproduces
+        ``serve().latency_s`` exactly.
+        """
+        self._check_prepared(prepared)
+        _check_batch_size(batch_size)
+        state: _CompiledPlasticine = prepared.state
+        sim = state.simulation
+        per_step = sim.cycles_per_step + sim.step_overhead
+        bottleneck = max(act.busy_cycles for act in sim.activities.values())
+        bottleneck = min(bottleneck, per_step)
+        fill = per_step - bottleneck
+        cycles = sim.steps * (fill + batch_size * bottleneck)
+        return cycles / (state.chip.clock_ghz * 1e9)
+
 
 @dataclass(frozen=True)
 class _AnalyticalState:
@@ -133,7 +178,27 @@ class _AnalyticalState:
 
 @register_platform("brainwave")
 class BrainwavePlatform(Platform):
-    """The Brainwave instruction-level model (Section 3.2)."""
+    """The Brainwave instruction-level model (Section 3.2).
+
+    Brainwave is the paper's throughput-oriented batched baseline: its
+    per-step cost is dominated by streaming the weight matrices through
+    the MVM units, which a batch shares.  We model that as 70% of the
+    batch-1 latency being per-batch setup (weight streaming, instruction
+    issue) amortized across the batch.
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> bw = get_platform("brainwave")
+        >>> prepared = bw.prepare(task("gru", 2816, 750))
+        >>> t1 = bw.batch_latency_s(prepared, 1)
+        >>> t8 = bw.batch_latency_s(prepared, 8)
+        >>> t1 < t8 < 8 * t1        # batching amortizes weight streaming
+        True
+    """
+
+    batch_setup_fraction = 0.70
 
     def __init__(self, model: BrainwaveServingModel | None = None) -> None:
         self.model = model or BrainwaveServingModel()
@@ -190,7 +255,22 @@ class _ProcessorPlatform(Platform):
 
 @register_platform("cpu")
 class CPUPlatform(_ProcessorPlatform):
-    """The Xeon Skylake / TensorFlow streaming model."""
+    """The Xeon Skylake / TensorFlow streaming model.
+
+    Batch-1 RNN inference on a CPU is mostly serial compute, so batching
+    amortizes only framework overhead: 20% of the batch-1 latency is
+    modelled as per-batch setup.
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> cpu = get_platform("cpu")
+        >>> cpu.serve_batched(cpu.prepare(task("lstm", 512, 25)), 4).batch_size
+        4
+    """
+
+    batch_setup_fraction = 0.20
 
     def __init__(self, model: CPUServingModel | None = None) -> None:
         self.model = model or CPUServingModel()
@@ -198,7 +278,25 @@ class CPUPlatform(_ProcessorPlatform):
 
 @register_platform("gpu")
 class GPUPlatform(_ProcessorPlatform):
-    """The Tesla V100 / cuDNN streaming model."""
+    """The Tesla V100 / cuDNN streaming model.
+
+    Batch-1 MVMs leave a V100 memory-bound on weight fetch (the paper's
+    Section 1 motivation); batching turns them into GEMMs that reuse the
+    fetched weights, so most of the batch-1 latency — modelled at 80% —
+    is per-batch setup amortized across the batch.
+
+    Example::
+
+        >>> from repro.serving import get_platform
+        >>> from repro.workloads.deepbench import task
+        >>> gpu = get_platform("gpu")
+        >>> prepared = gpu.prepare(task("lstm", 512, 25))
+        >>> t1 = gpu.batch_latency_s(prepared, 1)
+        >>> round(gpu.batch_latency_s(prepared, 2) / t1, 2)  # 0.8 + 2*0.2
+        1.2
+    """
+
+    batch_setup_fraction = 0.80
 
     def __init__(self, model: GPUServingModel | None = None) -> None:
         self.model = model or GPUServingModel()

@@ -39,6 +39,17 @@ class ServeRequest:
         slo_ms: Per-request latency budget.  Overrides the stream-level
             SLO for deadline scheduling and miss accounting; ``None``
             falls back to the stream's ``slo_ms``.
+
+    Example::
+
+        >>> from repro.serving import ServeRequest
+        >>> from repro.workloads.deepbench import task
+        >>> req = ServeRequest(task=task("lstm", 512, 25),
+        ...                    arrival_s=0.5, slo_ms=10.0)
+        >>> req.deadline_s()
+        0.51
+        >>> req.effective_slo_ms(5.0)   # its own SLO wins
+        10.0
     """
 
     task: RNNTask
@@ -68,18 +79,45 @@ class ServeRequest:
 
 @dataclass(frozen=True)
 class ServeResponse:
-    """The engine's answer: the result plus the request's timeline."""
+    """The engine's answer: the result plus the request's timeline.
+
+    When dynamic batching coalesced the request with others
+    (:mod:`repro.serving.batching`), ``batch_size`` is the size of that
+    execution, ``batch_index`` the request's position in it, and
+    ``result`` the shared batched result: every request in a batch
+    starts and finishes together.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine
+        >>> from repro.workloads.deepbench import task
+        >>> resp = ServingEngine("gpu").serve(task("lstm", 512, 25))
+        >>> resp.queue_delay_s, resp.batch_size
+        (0.0, 1)
+        >>> resp.sojourn_s == resp.finish_s - resp.request.arrival_s
+        True
+    """
 
     request: ServeRequest
     result: ServingResult
     queue_delay_s: float
     start_s: float
     finish_s: float
+    #: Size of the batched execution that served this request (1 = unbatched).
+    batch_size: int = 1
+    #: This request's position within its batch (0 for the head).
+    batch_index: int = 0
 
     @property
     def service_s(self) -> float:
-        """Time on the accelerator (the platform's serving latency)."""
-        return self.result.latency_s
+        """This request's share of accelerator time.
+
+        For an unbatched request this is the platform's batch-1 serving
+        latency; for a batched one it is the batch latency divided by the
+        batch size, so utilization and sustainable-rate accounting sum to
+        the time the accelerator was actually busy.
+        """
+        return self.result.latency_s / self.batch_size
 
     @property
     def sojourn_s(self) -> float:

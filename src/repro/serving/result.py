@@ -24,7 +24,22 @@ __all__ = ["ServingResult"]
 
 @dataclass(frozen=True)
 class ServingResult:
-    """Uniform serving outcome across platforms."""
+    """Uniform serving outcome across platforms.
+
+    ``batch_size`` is 1 for the classic batch-1 request; a batched
+    execution (see :meth:`Platform.serve_batched
+    <repro.serving.platform.Platform.serve_batched>`) produces one
+    result for the whole batch, with ``latency_s`` the batch completion
+    time and ``effective_tflops`` counting every request's work.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine
+        >>> from repro.workloads.deepbench import task
+        >>> res = ServingEngine("gpu").serve(task("lstm", 512, 25)).result
+        >>> res.platform, res.batch_size, res.latency_ms < 50
+        ('gpu', 1, True)
+    """
 
     platform: str
     task: RNNTask
@@ -35,10 +50,17 @@ class ServingResult:
     design: "MappedDesign | None" = field(default=None, repr=False, compare=False)
     simulation: "SimulationResult | None" = field(default=None, repr=False, compare=False)
     notes: tuple[str, ...] = ()
+    #: Number of same-task requests this execution served together.
+    batch_size: int = 1
 
     @property
     def latency_ms(self) -> float:
         return self.latency_s * 1e3
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests completed per second of execution (batch / latency)."""
+        return self.batch_size / self.latency_s
 
     def speedup_over(self, other: "ServingResult") -> float:
         """How much faster *this* platform is than ``other`` (>1 = faster)."""

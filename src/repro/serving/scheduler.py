@@ -81,7 +81,15 @@ class QueuedRequest:
 
 
 class Scheduler(ABC):
-    """Queue discipline for one replica: push on dispatch, pop when free."""
+    """Queue discipline for one replica: push on dispatch, pop when free.
+
+    Example::
+
+        >>> from repro.serving import get_scheduler
+        >>> sched = get_scheduler("fifo")
+        >>> (sched.name, len(sched))
+        ('fifo', 0)
+    """
 
     #: Registry key; set by :func:`register_scheduler`.
     name: str = "?"
@@ -97,6 +105,20 @@ class Scheduler(ABC):
     @abstractmethod
     def __len__(self) -> int:
         """Number of requests waiting."""
+
+    def peek(self) -> QueuedRequest:
+        """Return (without removing) the request :meth:`pop` would serve next.
+
+        Optional capability: the dynamic batching policies
+        (:mod:`repro.serving.batching`) use it to look ahead for
+        same-task requests to coalesce.  All built-in disciplines
+        implement it; a discipline that does not cannot be combined with
+        a look-ahead batcher.
+        """
+        raise ServingError(
+            f"scheduler {self.name!r} does not implement peek(); "
+            f"look-ahead batching policies need it"
+        )
 
 
 class _KeyedScheduler(Scheduler):
@@ -117,6 +139,11 @@ class _KeyedScheduler(Scheduler):
             raise ServingError("pop from an empty ready queue")
         return heapq.heappop(self._heap)[-1]
 
+    def peek(self) -> QueuedRequest:
+        if not self._heap:
+            raise ServingError("peek into an empty ready queue")
+        return self._heap[0][-1]
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -127,7 +154,26 @@ S = TypeVar("S", bound=type[Scheduler])
 
 
 def register_scheduler(name: str) -> Callable[[S], S]:
-    """Class decorator: register a :class:`Scheduler` under ``name``."""
+    """Class decorator: register a :class:`Scheduler` under ``name``.
+
+    Registering a second class under an existing name raises
+    :class:`~repro.errors.ServingError`.
+
+    Example::
+
+        >>> from repro.serving import register_scheduler, Scheduler
+        >>> from repro.serving.scheduler import unregister_scheduler
+        >>> @register_scheduler("lifo")
+        ... class LIFOScheduler(Scheduler):
+        ...     def __init__(self): self._stack = []
+        ...     def push(self, entry): self._stack.append(entry)
+        ...     def pop(self): return self._stack.pop()
+        ...     def __len__(self): return len(self._stack)
+        >>> from repro.serving import available_schedulers
+        >>> "lifo" in available_schedulers()
+        True
+        >>> unregister_scheduler("lifo")
+    """
 
     def decorate(cls: S) -> S:
         if not (isinstance(cls, type) and issubclass(cls, Scheduler)):
@@ -152,12 +198,27 @@ def unregister_scheduler(name: str) -> None:
 
 
 def available_schedulers() -> tuple[str, ...]:
-    """Sorted keys of every registered scheduler."""
+    """Sorted keys of every registered scheduler.
+
+    Example::
+
+        >>> from repro.serving import available_schedulers
+        >>> [s for s in ("coalesce", "edf", "fifo", "priority", "sjf")
+        ...  if s in available_schedulers()]
+        ['coalesce', 'edf', 'fifo', 'priority', 'sjf']
+    """
     return tuple(sorted(_REGISTRY))
 
 
 def get_scheduler(name: str, **options: object) -> Scheduler:
-    """Instantiate a fresh scheduler registered under ``name``."""
+    """Instantiate a fresh scheduler registered under ``name``.
+
+    Example::
+
+        >>> from repro.serving import get_scheduler
+        >>> get_scheduler("edf").name
+        'edf'
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
@@ -188,9 +249,38 @@ def make_scheduler(
     raise ServingError(f"cannot build a scheduler from {spec!r}")
 
 
+def _doc_entry(seq: int, **overrides: object) -> QueuedRequest:
+    """Build a throwaway :class:`QueuedRequest` (docstring examples only)."""
+    from repro.serving.result import ServingResult
+    from repro.workloads.deepbench import task
+
+    t = overrides.pop("task", task("lstm", 512, 25))
+    request = ServeRequest(
+        task=t,
+        request_id=seq,
+        priority=overrides.pop("priority", 0),
+    )
+    return QueuedRequest(
+        seq=seq,
+        request=request,
+        result=ServingResult(platform="doc", task=t, latency_s=1e-3,
+                             effective_tflops=0.0),
+        **overrides,
+    )
+
+
 @register_scheduler("fifo")
 class FIFOScheduler(_KeyedScheduler):
-    """Serve in arrival order — the pre-refactor behaviour, bit for bit."""
+    """Serve in arrival order — the pre-refactor behaviour, bit for bit.
+
+    Example::
+
+        >>> from repro.serving.scheduler import FIFOScheduler, _doc_entry
+        >>> sched = FIFOScheduler()
+        >>> for seq in (2, 0, 1): sched.push(_doc_entry(seq))
+        >>> [sched.pop().seq for _ in range(3)]
+        [0, 1, 2]
+    """
 
     def key(self, entry: QueuedRequest) -> tuple:
         return ()
@@ -198,7 +288,17 @@ class FIFOScheduler(_KeyedScheduler):
 
 @register_scheduler("priority")
 class PriorityScheduler(_KeyedScheduler):
-    """Strict priority: larger ``request.priority`` first, FIFO within."""
+    """Strict priority: larger ``request.priority`` first, FIFO within.
+
+    Example::
+
+        >>> from repro.serving.scheduler import PriorityScheduler, _doc_entry
+        >>> sched = PriorityScheduler()
+        >>> sched.push(_doc_entry(0, priority=0))
+        >>> sched.push(_doc_entry(1, priority=9))
+        >>> sched.pop().seq
+        1
+    """
 
     def key(self, entry: QueuedRequest) -> tuple:
         return (-entry.request.priority,)
@@ -206,7 +306,17 @@ class PriorityScheduler(_KeyedScheduler):
 
 @register_scheduler("edf")
 class EDFScheduler(_KeyedScheduler):
-    """Earliest deadline first over per-request (or stream) SLOs."""
+    """Earliest deadline first over per-request (or stream) SLOs.
+
+    Example::
+
+        >>> from repro.serving.scheduler import EDFScheduler, _doc_entry
+        >>> sched = EDFScheduler()
+        >>> sched.push(_doc_entry(0, deadline_s=0.9))
+        >>> sched.push(_doc_entry(1, deadline_s=0.2))
+        >>> sched.pop().seq
+        1
+    """
 
     def key(self, entry: QueuedRequest) -> tuple:
         return (entry.deadline_s,)
@@ -214,7 +324,17 @@ class EDFScheduler(_KeyedScheduler):
 
 @register_scheduler("sjf")
 class SJFScheduler(_KeyedScheduler):
-    """Shortest job first over the platform's deterministic service times."""
+    """Shortest job first over the platform's deterministic service times.
+
+    Example::
+
+        >>> from repro.serving.scheduler import SJFScheduler, _doc_entry
+        >>> sched = SJFScheduler()
+        >>> sched.push(_doc_entry(0, service_s=5e-3))
+        >>> sched.push(_doc_entry(1, service_s=1e-3))
+        >>> sched.pop().seq
+        1
+    """
 
     def key(self, entry: QueuedRequest) -> tuple:
         return (entry.service_s,)
@@ -228,6 +348,16 @@ class CoalescingScheduler(Scheduler):
     the line (oldest first), so runs of one task are served contiguously
     and the compile cache / on-chip weights stay hot; when the run dries
     up, the discipline falls back to plain FIFO for the next task.
+
+    Example::
+
+        >>> from repro.serving.scheduler import CoalescingScheduler, _doc_entry
+        >>> from repro.workloads.deepbench import task
+        >>> a, b = task("lstm", 512, 25), task("gru", 512, 25)
+        >>> sched = CoalescingScheduler()
+        >>> for seq, t in ((0, a), (1, b), (2, a)): sched.push(_doc_entry(seq, task=t))
+        >>> [sched.pop().seq for _ in range(3)]    # the 'a' run coalesces
+        [0, 2, 1]
     """
 
     def __init__(self) -> None:
@@ -244,32 +374,46 @@ class CoalescingScheduler(Scheduler):
         heapq.heappush(self._order, (entry.seq, entry.request.task))
         self._size += 1
 
-    def pop(self) -> QueuedRequest:
+    def _front(self, verb: str) -> QueuedRequest:
+        """The entry :meth:`pop` would serve next (shared with peek).
+
+        Prefers the bucket of the task just served, then falls back to
+        FIFO via the marker heap, discarding stale markers for requests
+        that already jumped the line.
+        """
         if self._size == 0:
-            raise ServingError("pop from an empty ready queue")
+            raise ServingError(f"{verb} an empty ready queue")
         bucket = (
             self._buckets.get(self._last_task)
             if self._last_task is not None
             else None
         )
         if bucket:
-            entry = bucket.popleft()
-        else:
-            while True:
-                seq, task = self._order[0]
-                candidates = self._buckets.get(task)
-                if candidates and candidates[0].seq == seq:
-                    heapq.heappop(self._order)
-                    entry = candidates.popleft()
-                    break
-                # Stale marker: that request already jumped the line.
-                heapq.heappop(self._order)
+            return bucket[0]
+        while True:
+            seq, task = self._order[0]
+            candidates = self._buckets.get(task)
+            if candidates and candidates[0].seq == seq:
+                return candidates[0]
+            heapq.heappop(self._order)
+
+    def pop(self) -> QueuedRequest:
+        entry = self._front("pop from")
         task = entry.request.task
-        if not self._buckets.get(task):
+        bucket = self._buckets[task]
+        bucket.popleft()
+        if self._order and self._order[0][0] == entry.seq:
+            heapq.heappop(self._order)
+        # else: served out of FIFO order via coalescing; its marker goes
+        # stale and _front discards it when it surfaces.
+        if not bucket:
             self._buckets.pop(task, None)
         self._last_task = task
         self._size -= 1
         return entry
+
+    def peek(self) -> QueuedRequest:
+        return self._front("peek into")
 
     def __len__(self) -> int:
         return self._size

@@ -66,6 +66,17 @@ def poisson_arrivals(
 
     The same seed at two different rates yields time-scaled copies of the
     same stream, which keeps rate sweeps comparable.
+
+    Example::
+
+        >>> from repro.serving import poisson_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = poisson_arrivals(task("lstm", 512, 25),
+        ...                         rate_per_s=100, n_requests=5, seed=0)
+        >>> (len(reqs), reqs[0].tenant, reqs[0].request_id)
+        (5, 'default', 0)
+        >>> all(a.arrival_s < b.arrival_s for a, b in zip(reqs, reqs[1:]))
+        True
     """
     _check_stream_args(rate_per_s, n_requests)
     import numpy as np
@@ -96,7 +107,17 @@ def uniform_arrivals(
     priority: int = 0,
     slo_ms: float | None = None,
 ) -> tuple[ServeRequest, ...]:
-    """A deterministic evenly-spaced request stream for one task."""
+    """A deterministic evenly-spaced request stream for one task.
+
+    Example::
+
+        >>> from repro.serving import uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = uniform_arrivals(task("lstm", 512, 25),
+        ...                         rate_per_s=10, n_requests=3)
+        >>> [round(r.arrival_s, 3) for r in reqs]
+        [0.1, 0.2, 0.3]
+    """
     _check_stream_args(rate_per_s, n_requests)
     period = 1.0 / rate_per_s
     return tuple(
@@ -133,6 +154,19 @@ def mmpp_arrivals(
     a state arrivals are Poisson at that state's rate.  The result is the
     bursty traffic real interactive services see: long stretches near the
     quiet rate punctuated by short storms at the burst rate.
+
+    Example::
+
+        >>> from repro.serving import mmpp_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> t = task("lstm", 512, 25)
+        >>> reqs = mmpp_arrivals(t, quiet_rate_per_s=50, burst_rate_per_s=2000,
+        ...                      n_requests=20, seed=1)
+        >>> len(reqs)
+        20
+        >>> reqs == mmpp_arrivals(t, quiet_rate_per_s=50,
+        ...                       burst_rate_per_s=2000, n_requests=20, seed=1)
+        True
     """
     _check_stream_args(quiet_rate_per_s, n_requests)
     if burst_rate_per_s <= 0:
@@ -190,6 +224,16 @@ def diurnal_arrivals(
     peak rate, with ``rate(t) = base + (peak - base) * (1 - cos(2*pi*t /
     period)) / 2`` — the stream starts at the base rate, crests at the
     peak half a period in, and returns to base.
+
+    Example::
+
+        >>> from repro.serving import diurnal_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = diurnal_arrivals(task("lstm", 512, 25),
+        ...                         base_rate_per_s=20, peak_rate_per_s=500,
+        ...                         period_s=2.0, n_requests=30, seed=4)
+        >>> (len(reqs), reqs[0].arrival_s > 0)
+        (30, True)
     """
     _check_stream_args(base_rate_per_s, n_requests)
     if peak_rate_per_s < base_rate_per_s:
@@ -228,6 +272,19 @@ def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
     ``request_id``s — the per-stream ids almost always collide, and the
     event loop rejects duplicate ids outright.  Tenant, priority, and
     per-request SLO tags are preserved.
+
+    Example::
+
+        >>> from repro.serving import mix, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> t = task("lstm", 512, 25)
+        >>> merged = mix(
+        ...     uniform_arrivals(t, rate_per_s=10, n_requests=3, tenant="a"),
+        ...     uniform_arrivals(t, rate_per_s=10, n_requests=3, tenant="b"))
+        >>> [r.request_id for r in merged]       # globally re-numbered
+        [0, 1, 2, 3, 4, 5]
+        >>> [r.tenant for r in merged]
+        ['a', 'b', 'a', 'b', 'a', 'b']
     """
     if not streams:
         raise ServingError("mix needs at least one stream")
@@ -255,6 +312,17 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
     Floats are serialized with ``repr`` precision, so
     :func:`replay_trace` reproduces the exact same requests — and
     therefore the exact same :class:`~repro.serving.engine.StreamReport`.
+
+    Example::
+
+        >>> import os, tempfile
+        >>> from repro.serving import record_trace, replay_trace, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = uniform_arrivals(task("lstm", 512, 25),
+        ...                         rate_per_s=10, n_requests=3)
+        >>> path = os.path.join(tempfile.mkdtemp(), "stream.jsonl")
+        >>> replay_trace(record_trace(reqs, path)) == reqs
+        True
     """
     path = Path(path)
     lines = []
@@ -284,7 +352,18 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
 
 
 def replay_trace(path: str | Path) -> tuple[ServeRequest, ...]:
-    """Load a JSONL trace back into the identical request stream."""
+    """Load a JSONL trace back into the identical request stream.
+
+    Example::
+
+        >>> from repro.serving import replay_trace
+        >>> from repro.errors import ServingError
+        >>> try:
+        ...     replay_trace("no/such/trace.jsonl")
+        ... except ServingError as exc:
+        ...     print("rejected")
+        rejected
+    """
     path = Path(path)
     if not path.exists():
         raise ServingError(f"trace file not found: {path}")

@@ -161,3 +161,49 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
+
+    def test_help_lists_registered_names(self):
+        # Choices come from the live registries, so plugin registrations
+        # show up without touching the CLI.
+        parser = build_parser()
+        serve = next(
+            a for a in parser._subparsers._group_actions[0].choices.values()
+            if "serving engine" in (a.description or "")
+        )
+        text = serve.format_help()
+        for name in ("plasticine", "brainwave", "cpu", "gpu"):
+            assert name in text
+        for name in ("fifo", "edf", "coalesce", "sjf", "priority"):
+            assert name in text
+        for name in ("none", "size-cap", "time-window", "adaptive"):
+            assert name in text
+        assert "docs/CLI.md" in text
+
+    def test_serve_stream_batched(self, capsys):
+        assert main(
+            ["serve", "lstm", "512", "--platform", "gpu", "--stream",
+             "--rate", "2000", "--requests", "60", "--batcher", "size-cap",
+             "--max-batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mean batch" in out
+        assert "size-cap batching <= 4" in out
+
+    def test_serve_stream_unknown_batcher_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--stream", "--batcher", "megabatch"])
+
+    def test_serve_stream_autoscale(self, capsys):
+        assert main(
+            ["serve", "lstm", "512", "--platform", "gpu", "--stream",
+             "--rate", "4000", "--requests", "200", "--autoscale", "1:4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "autoscale 1:4" in out
+        assert "Scale events (gpu" in out
+
+    def test_serve_stream_bad_autoscale_errors(self, capsys):
+        assert main(
+            ["serve", "--platform", "gpu", "--stream", "--autoscale", "lots"]
+        ) == 1
+        assert "bad --autoscale spec" in capsys.readouterr().err

@@ -109,3 +109,49 @@ class TestFleetGolden:
         assert report.mean_queue_delay_ms == queue
         assert report.slo_miss_rate == miss
         assert report.per_replica_counts == counts
+
+
+class TestBatcherNoneGolden:
+    """The ``"none"`` batching policy cannot drift from classic batch-1
+    serving: the same golden numbers must come out bit for bit whether the
+    batcher is defaulted, named explicitly, or replaced by ``size-cap``
+    with a cap of one (which coalesces nothing by construction)."""
+
+    @pytest.mark.parametrize("key", sorted(_ENGINE_GOLDEN), ids=lambda k: k[0])
+    @pytest.mark.parametrize("batcher,max_batch", [
+        ("none", None),
+        ("none", 64),       # the cap is ignored: the policy is batch-1
+        ("size-cap", 1),
+    ])
+    def test_engine_stream_is_bit_identical(self, key, batcher, max_batch):
+        platform, rate, n, seed = key
+        p50, p99, mean, queue, miss = _ENGINE_GOLDEN[key]
+        arrivals = poisson_arrivals(T, rate_per_s=rate, n_requests=n, seed=seed)
+        report = ServingEngine(platform).serve_stream(
+            arrivals, slo_ms=5.0, batcher=batcher, max_batch=max_batch
+        )
+        assert report.batcher == batcher
+        assert report.p50_ms == p50
+        assert report.p99_ms == p99
+        assert report.mean_ms == mean
+        assert report.mean_queue_delay_ms == queue
+        assert report.slo_miss_rate == miss
+        assert report.mean_batch_size == 1.0
+        assert all(r.batch_size == 1 for r in report.responses)
+
+    @pytest.mark.parametrize(
+        "key", sorted(_FLEET_GOLDEN), ids=lambda k: f"{k[0]}x-{k[1]}-r{k[2]:.0f}"
+    )
+    def test_fleet_stream_is_bit_identical(self, key):
+        replicas, policy, rate, n, seed = key
+        p50, p99, mean, queue, miss, counts = _FLEET_GOLDEN[key]
+        arrivals = poisson_arrivals(T, rate_per_s=rate, n_requests=n, seed=seed)
+        fleet = Fleet("gpu", replicas=replicas, policy=policy)
+        report = fleet.serve_stream(arrivals, slo_ms=5.0, batcher="none")
+        assert report.batcher == "none"
+        assert report.p50_ms == p50
+        assert report.p99_ms == p99
+        assert report.mean_ms == mean
+        assert report.mean_queue_delay_ms == queue
+        assert report.slo_miss_rate == miss
+        assert report.per_replica_counts == counts

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""docs-check: keep docs/ARCHITECTURE.md in sync with the serving package.
+
+Fails (exit 1) when a module under ``src/repro/serving/`` is not
+mentioned by name in ``docs/ARCHITECTURE.md``, so new serving modules
+cannot land undocumented.  Also sanity-checks that the docs/ suite and
+the README cross-link each other.
+
+Run from the repo root (CI does):
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SERVING = REPO / "src" / "repro" / "serving"
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+
+#: Docs that must exist and the links each must contain.
+REQUIRED_LINKS = {
+    REPO / "docs" / "ARCHITECTURE.md": ["PAPER_MAP.md"],
+    REPO / "docs" / "PAPER_MAP.md": ["ARCHITECTURE.md", "CLI.md"],
+    REPO / "docs" / "CLI.md": ["PAPER_MAP.md"],
+    REPO / "README.md": [
+        "docs/ARCHITECTURE.md",
+        "docs/PAPER_MAP.md",
+        "docs/CLI.md",
+    ],
+}
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    if not ARCHITECTURE.exists():
+        print(f"docs-check: missing {ARCHITECTURE.relative_to(REPO)}")
+        return 1
+    architecture = ARCHITECTURE.read_text()
+
+    modules = sorted(
+        path.name
+        for path in SERVING.glob("*.py")
+        if path.name != "__init__.py"
+    )
+    if not modules:
+        failures.append(f"no modules found under {SERVING.relative_to(REPO)}")
+    for name in modules:
+        if name not in architecture:
+            failures.append(
+                f"docs/ARCHITECTURE.md does not mention src/repro/serving/{name}"
+            )
+
+    for doc, links in REQUIRED_LINKS.items():
+        rel = doc.relative_to(REPO)
+        if not doc.exists():
+            failures.append(f"missing {rel}")
+            continue
+        text = doc.read_text()
+        for link in links:
+            if link not in text:
+                failures.append(f"{rel} does not link to {link}")
+
+    if failures:
+        print("docs-check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"docs-check ok: {len(modules)} serving modules documented, "
+        f"{len(REQUIRED_LINKS)} docs cross-linked"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
