@@ -1,0 +1,213 @@
+"""Length-aware batching on a heavy-tailed (zipf) sequence-length mix.
+
+Fixed-length evaluation (the paper's Table 6 scenario) hides the
+dominant cost of batched RNN serving in practice: **padding**.  When
+request lengths vary, a padded batch executes every member at the
+longest member's length, and on a heavy-tailed length distribution a
+single long straggler multiplies a whole batch's cost.  This benchmark
+drains the same zipf-length backlog through the two length-aware
+policies and checks the ordering the serving literature predicts:
+
+* ``bucket`` (coalesce only within a geometric length band) beats
+  ``pad`` (coalesce the whole family, pad to the batch max) on
+  **padding waste** — strictly — and matches or beats it on **drain
+  throughput** and **SLO attainment**;
+* the batch-1 spatial path (Plasticine, ``batcher="none"``) shows
+  **zero** padding waste on the same workload: a pipeline that is
+  efficient at batch 1 never pays for padding, which sharpens the
+  paper's Section 1 argument against throughput-oriented batching;
+* the stacked and seq2seq zoo tasks serve end to end on every
+  registered platform with cost scaling ``layers * (T_enc + T_dec)``.
+
+Run under pytest (CI's benchmarks job) or standalone::
+
+    python benchmarks/bench_length_aware_batching.py [--quick]
+
+Either way the metrics land in ``benchmarks/out/length_aware_batching.json``
+(the perf-smoke CI job uploads it as an artifact and fails the build if
+the pad/bucket ordering inverts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Standalone bootstrap (python benchmarks/bench_length_aware_batching.py
+# without PYTHONPATH=src): put the in-repo package on the path first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.harness.report import format_table
+from repro.serving import (
+    ServingEngine,
+    ZipfLength,
+    available_platforms,
+    get_batcher,
+    uniform_arrivals,
+)
+from repro.workloads.deepbench import task
+from repro.workloads.zoo import zoo_task
+
+OUT_JSON = Path(__file__).parent / "out" / "length_aware_batching.json"
+
+#: The length mix: heavy-tailed zipf — most requests short, a fat tail
+#: of long ones.  The worst case for naive padding.
+BASE_TASK = task("gru", 512, 25)
+LENGTHS = ZipfLength(10, 300, alpha=1.6)
+MAX_BATCH = 16
+SLO_MS = 400.0
+SEED = 3
+
+
+def _drain(engine: ServingEngine, n: int, batcher, **opts) -> dict:
+    """Drain an instantaneous zipf-length backlog; report the outcome."""
+    burst = uniform_arrivals(
+        BASE_TASK, rate_per_s=1e6, n_requests=n, seed=SEED, lengths=LENGTHS
+    )
+    report = engine.serve_stream(burst, slo_ms=SLO_MS, batcher=batcher, **opts)
+    return {
+        "batcher": report.batcher,
+        "throughput_rps": report.throughput_rps,
+        "padding_waste_frac": report.padding_waste_frac,
+        "mean_batch_size": report.mean_batch_size,
+        "slo_attainment": report.slo_attainment,
+        "p99_ms": report.p99_ms,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    """Run every scenario and return the metrics dict."""
+    n = 200 if quick else 600
+    # Brainwave is the paper's throughput-oriented batched baseline —
+    # exactly the design whose utilization strategy pays for padding.
+    brainwave = ServingEngine("brainwave")
+    pad = _drain(brainwave, n, "pad", max_batch=MAX_BATCH)
+    bucket = _drain(
+        brainwave,
+        n,
+        lambda: get_batcher("bucket", max_batch=MAX_BATCH, band_base=2.0),
+    )
+
+    # The spatial batch-1 path on the same length mix: no batching, no
+    # padding, still inside the paper's latency regime.
+    plasticine = _drain(ServingEngine("plasticine"), 60 if quick else 200, "none")
+
+    # The zoo tasks end to end on every platform (cost must scale with
+    # layers and encoder+decoder steps on each of them).
+    zoo = {}
+    for name in ("ds2-gru-3x1536", "gnmt-lstm-2x1024"):
+        t = zoo_task(name)
+        zoo[name] = {
+            platform: ServingEngine(platform).serve(t).result.latency_ms
+            for platform in available_platforms()
+        }
+
+    return {
+        "quick": quick,
+        "n_requests": n,
+        "workload": f"{BASE_TASK.name} x zipf[{LENGTHS.lo},{LENGTHS.hi}]"
+        f"@a={LENGTHS.alpha}",
+        "max_batch": MAX_BATCH,
+        "brainwave_pad": pad,
+        "brainwave_bucket": bucket,
+        "plasticine_batch1": plasticine,
+        "zoo_latency_ms": zoo,
+    }
+
+
+def check(metrics: dict) -> list[str]:
+    """The orderings this benchmark exists to guard."""
+    pad, bucket = metrics["brainwave_pad"], metrics["brainwave_bucket"]
+    spatial = metrics["plasticine_batch1"]
+    failures = []
+    if not bucket["padding_waste_frac"] < pad["padding_waste_frac"]:
+        failures.append(
+            f"bucket waste {bucket['padding_waste_frac']:.3f} not strictly "
+            f"below pad waste {pad['padding_waste_frac']:.3f}"
+        )
+    if not bucket["throughput_rps"] >= pad["throughput_rps"]:
+        failures.append(
+            f"bucket throughput {bucket['throughput_rps']:.0f} req/s fell "
+            f"below pad {pad['throughput_rps']:.0f} req/s"
+        )
+    if not bucket["slo_attainment"] >= pad["slo_attainment"]:
+        failures.append(
+            f"bucket SLO attainment {bucket['slo_attainment']:.3f} below "
+            f"pad {pad['slo_attainment']:.3f}"
+        )
+    if spatial["padding_waste_frac"] != 0.0:
+        failures.append(
+            f"batch-1 spatial path shows padding waste "
+            f"{spatial['padding_waste_frac']:.3f} (must be exactly 0)"
+        )
+    if spatial["mean_batch_size"] != 1.0:
+        failures.append("batch-1 spatial path coalesced requests")
+    for name, per_platform in metrics["zoo_latency_ms"].items():
+        for platform, latency_ms in per_platform.items():
+            if not latency_ms > 0:
+                failures.append(f"{name} on {platform}: non-positive latency")
+    return failures
+
+
+def _render(metrics: dict) -> str:
+    rows = [
+        [
+            key,
+            round(m["throughput_rps"]),
+            f"{100 * m['padding_waste_frac']:.1f}%",
+            round(m["mean_batch_size"], 2),
+            f"{100 * m['slo_attainment']:.1f}%",
+            round(m["p99_ms"], 3),
+        ]
+        for key, m in (
+            ("brainwave pad", metrics["brainwave_pad"]),
+            ("brainwave bucket", metrics["brainwave_bucket"]),
+            ("plasticine batch-1", metrics["plasticine_batch1"]),
+        )
+    ]
+    return format_table(
+        ["policy", "drain req/s", "pad waste", "mean batch", "SLO attained",
+         "P99 ms"],
+        rows,
+        title=f"Length-aware batching: {metrics['workload']}, "
+        f"{metrics['n_requests']} requests, cap {metrics['max_batch']}",
+    )
+
+
+def _write_json(metrics: dict) -> None:
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+
+
+def test_length_aware_batching(artifact):
+    metrics = run(quick=False)
+    _write_json(metrics)
+    artifact("length_aware_batching", _render(metrics))
+    failures = check(metrics)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller request counts (the CI perf-smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+    metrics = run(quick=args.quick)
+    _write_json(metrics)
+    print(_render(metrics))
+    print(f"[json: {OUT_JSON}]")
+    failures = check(metrics)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,16 +124,23 @@ class BrainwaveServingModel:
         )
 
     def latency_seconds(self, task: RNNTask) -> float:
+        """Linear in the request's actual cell-step count: a stacked or
+        seq2seq request dispatches one instruction chain per cell step
+        (``L * (T + T_dec)`` of them), while the scheduler init cost is
+        paid once per request, not once per layer."""
         trace = self.step_trace(task)
-        cycles = self.config.init_cycles + task.timesteps * trace.step_cycles
+        cycles = self.config.init_cycles + task.total_steps * trace.step_cycles
         return cycles / (self.config.clock_ghz * 1e9)
 
     def effective_tflops(self, task: RNNTask) -> float:
         return task.effective_tflops(self.latency_seconds(task))
 
     def weight_bytes(self, task: RNNTask) -> int:
-        """On-chip weight footprint in blocked floating point."""
-        return self.config.weight_format.storage_bytes(task.shape.weight_count)
+        """On-chip weight footprint in blocked floating point (every
+        layer of a stacked model is resident separately)."""
+        return task.layers * self.config.weight_format.storage_bytes(
+            task.shape.weight_count
+        )
 
     def weights_fit_onchip(self, task: RNNTask, capacity_bytes: int) -> bool:
         return self.weight_bytes(task) <= capacity_bytes

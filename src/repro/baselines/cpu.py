@@ -60,8 +60,9 @@ class CPUServingModel:
         return task.weight_bytes(_BYTES_PER_WEIGHT)
 
     def step_breakdown(self, task: RNNTask) -> CPUStepBreakdown:
-        """Decompose one time step."""
-        wbytes = self.weight_bytes(task)
+        """Decompose one cell step (a stacked model runs one of these per
+        layer per time step, each streaming its own layer's weights)."""
+        wbytes = task.cell_weight_bytes(_BYTES_PER_WEIGHT)
         stream = self.machine.stream_seconds(wbytes)
         flops = task.shape.mvm_flops_per_step()
         compute = self.machine.flops_seconds(flops, efficiency=0.5)
@@ -75,9 +76,14 @@ class CPUServingModel:
         return CPUStepBreakdown(stream_s=stream, compute_s=compute, overhead_s=overhead)
 
     def latency_seconds(self, task: RNNTask) -> float:
-        """End-to-end latency of serving one sequence."""
+        """End-to-end latency of serving one sequence.
+
+        Linear in the request's *actual* cell-step count — layers and
+        encoder/decoder legs multiply the per-step cost, while the
+        framework init is charged once per request, not per layer.
+        """
         step = self.step_breakdown(task).total_s
-        return self.machine.init_overhead_s + task.timesteps * step
+        return self.machine.init_overhead_s + task.total_steps * step
 
     def effective_tflops(self, task: RNNTask) -> float:
         return task.effective_tflops(self.latency_seconds(task))

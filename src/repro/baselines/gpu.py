@@ -55,7 +55,9 @@ class GPUServingModel:
         return task.weight_bytes(_BYTES_PER_WEIGHT)
 
     def step_breakdown(self, task: RNNTask) -> GPUStepBreakdown:
-        wbytes = self.weight_bytes(task)
+        """One cell step: a stacked model runs one per layer per time
+        step, each streaming its own layer's weights from HBM."""
+        wbytes = task.cell_weight_bytes(_BYTES_PER_WEIGHT)
         stream = self.machine.stream_seconds(wbytes)
         flops = task.shape.mvm_flops_per_step()
         compute = self.machine.flops_seconds(flops, efficiency=_BATCH1_COMPUTE_EFFICIENCY)
@@ -66,8 +68,10 @@ class GPUServingModel:
         )
 
     def latency_seconds(self, task: RNNTask) -> float:
+        """Linear in the request's actual cell-step count (layers and
+        decoder legs included); init is charged once per request."""
         step = self.step_breakdown(task).total_s
-        return self.machine.init_overhead_s + task.timesteps * step
+        return self.machine.init_overhead_s + task.total_steps * step
 
     def effective_tflops(self, task: RNNTask) -> float:
         return task.effective_tflops(self.latency_seconds(task))

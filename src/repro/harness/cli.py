@@ -69,11 +69,15 @@ _MIX_DEFAULT_TIMESTEPS = 25
 
 
 def _parse_mix(spec: str):
-    """Parse ``--mix`` specs: ``kind:hidden[:timesteps][@slo_ms][^prio]``.
+    """Parse ``--mix`` specs:
+    ``kind:hidden[:timesteps[dDEC]][:layers][@slo_ms][^prio]``.
 
     Returns a list of (task, slo_ms, priority) tuples, one per
     comma-separated entry.  Tasks in the DeepBench suite resolve their
     timesteps automatically; anything else defaults to 25 timesteps.
+    ``25d10`` in the timesteps field makes the task seq2seq (25 encoder
+    + 10 decoder steps); a fourth field stacks that many layers —
+    ``lstm:1024:30d30:2`` is a 2-layer GNMT-style encoder-decoder.
     """
     from repro.errors import ServingError, WorkloadError
     from repro.workloads.deepbench import RNNTask, task
@@ -93,19 +97,40 @@ def _parse_mix(spec: str):
                 body, _, slo_text = body.rpartition("@")
                 slo_ms = float(slo_text)
             fields = body.split(":")
-            if len(fields) not in (2, 3):
+            if len(fields) not in (2, 3, 4):
                 raise ValueError("wrong field count")
             kind, hidden = fields[0], int(fields[1])
-            timesteps = int(fields[2]) if len(fields) == 3 else None
+            timesteps = None
+            decoder = 0
+            if len(fields) >= 3:
+                t_text, _, dec_text = fields[2].partition("d")
+                timesteps = int(t_text)
+                decoder = int(dec_text) if dec_text else 0
+            layers = int(fields[3]) if len(fields) == 4 else 1
+            if layers < 1 or decoder < 0:
+                # Reject rather than fall through to the single-layer
+                # lookup — a typo must not silently serve a different
+                # workload than the user named.
+                raise ValueError("layers must be >= 1 and decoder >= 0")
         except ValueError as exc:
             raise ServingError(
                 f"bad --mix entry {part!r}; expected "
-                f"kind:hidden[:timesteps][@slo_ms][^priority]"
+                f"kind:hidden[:timesteps[dDECODER]][:layers][@slo_ms][^priority]"
             ) from exc
-        try:
-            t = task(kind, hidden, timesteps)
-        except WorkloadError:
-            t = RNNTask(kind, hidden, _MIX_DEFAULT_TIMESTEPS)
+        if layers > 1 or decoder > 0:
+            t = RNNTask(
+                kind,
+                hidden,
+                timesteps if timesteps is not None else _MIX_DEFAULT_TIMESTEPS,
+                layers=layers,
+                decoder_timesteps=decoder,
+                in_table6=False,
+            )
+        else:
+            try:
+                t = task(kind, hidden, timesteps)
+            except WorkloadError:
+                t = RNNTask(kind, hidden, _MIX_DEFAULT_TIMESTEPS)
         entries.append((t, slo_ms, priority))
     if not entries:
         raise ServingError(f"--mix {spec!r} names no tasks")
@@ -120,10 +145,18 @@ def _build_stream(args: argparse.Namespace, default_task):
     spec (splitting --rate and --requests evenly); otherwise a single
     Poisson stream of the positional task.
     """
-    from repro.serving import mix, poisson_arrivals, record_trace
+    from repro.errors import ServingError
+    from repro.serving import length_sampler, mix, poisson_arrivals, record_trace
     from repro.serving.traffic import replay_trace
 
+    lengths = length_sampler(args.length_dist) if args.length_dist else None
     if args.trace:
+        if lengths is not None:
+            raise ServingError(
+                "--length-dist cannot apply to a replayed trace: the "
+                "trace already records every request's length; drop one "
+                "of --trace / --length-dist"
+            )
         arrivals = replay_trace(args.trace)
         desc = f"trace {args.trace}"
     elif args.mix:
@@ -139,6 +172,7 @@ def _build_stream(args: argparse.Namespace, default_task):
                 tenant=t.name,
                 priority=priority,
                 slo_ms=slo_ms,
+                lengths=lengths,
             )
             for i, (t, slo_ms, priority) in enumerate(specs)
         ]
@@ -151,8 +185,11 @@ def _build_stream(args: argparse.Namespace, default_task):
             n_requests=args.requests,
             seed=args.seed,
             tenant=default_task.name,
+            lengths=lengths,
         )
         desc = f"{default_task.name} at {args.rate:.0f} req/s"
+    if lengths is not None and not args.trace:
+        desc += f", lengths {args.length_dist}"
     if args.record_trace:
         record_trace(arrivals, args.record_trace)
     return arrivals, desc
@@ -282,6 +319,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
         ]
         if batched:
             row.insert(2, round(report.mean_batch_size, 2))
+            row.insert(3, f"{100.0 * report.padding_waste_frac:.1f}%")
         rows.append(row)
         if len(report.tenants) > 1:
             breakdowns.append(_tenant_breakdown_table(name, report, args.slo_ms))
@@ -301,6 +339,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                "max req/s", "SLO attained", f"P99<={args.slo_ms}ms"]
     if batched:
         headers.insert(2, "mean batch")
+        headers.insert(3, "pad waste")
     main_table = format_table(headers, rows, title=title)
     parts = [main_table, *breakdowns]
     if args.record_trace:
@@ -434,9 +473,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--mix",
         help="multi-tenant workload: comma-separated "
-        "kind:hidden[:timesteps][@slo_ms][^priority] specs (see "
-        "docs/CLI.md); --rate and --requests are split evenly across "
-        "tenants",
+        "kind:hidden[:timesteps[dDECODER]][:layers][@slo_ms][^priority] "
+        "specs (see docs/CLI.md) — e.g. lstm:1024:30d30:2 is a 2-layer "
+        "seq2seq; --rate and --requests are split evenly across tenants",
+    )
+    serve.add_argument(
+        "--length-dist",
+        metavar="SPEC",
+        help="per-request sequence-length distribution applied to every "
+        "generated tenant stream: fixed:T, uniform:LO:HI, "
+        "zipf:LO:HI[:ALPHA], or trace:PATH (see docs/CLI.md); pairs "
+        "with the length-aware 'pad'/'bucket' batchers",
     )
     serve.add_argument(
         "--trace",

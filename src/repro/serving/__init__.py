@@ -10,14 +10,17 @@ way real accelerator deployments are:
   Plasticine (mapper + cycle simulator) and the CPU / GPU / Brainwave
   analytical models.
 * :mod:`repro.serving.traffic` — composable arrival processes (Poisson,
-  uniform, MMPP bursty, diurnal ramp, JSONL trace record/replay) and the
-  :func:`mix` combinator for multi-tenant workloads.
+  uniform, MMPP bursty, diurnal ramp, JSONL trace record/replay), the
+  :func:`mix` combinator for multi-tenant workloads, and seeded
+  sequence-length distributions (fixed / uniform / zipf / empirical)
+  that attach per-request ``timesteps`` overrides to arrivals.
 * :mod:`repro.serving.scheduler` — the :class:`Scheduler` registry:
   FIFO, strict priority, EDF, SJF, and compile-cache-aware coalescing.
 * :mod:`repro.serving.batching` — the :class:`Batcher` registry: the
   batch-1 ``none`` default plus ``size-cap`` / ``time-window`` /
-  ``adaptive`` dynamic batching, costed by each platform's pipeline
-  model (setup once, steady-state per item).
+  ``adaptive`` dynamic batching and the length-aware ``pad`` /
+  ``bucket`` policies, costed by each platform's pipeline model (setup
+  once, steady-state per item).
 * :mod:`repro.serving.autoscaler` — queue-depth/SLO-driven elastic
   replica scaling for fleet streams, with a :class:`ScaleEvent` log.
 * :mod:`repro.serving.events` — the shared heap-based discrete-event
@@ -48,7 +51,9 @@ from repro.serving.autoscaler import Autoscaler, ScaleDecision, ScaleEvent
 from repro.serving.batching import (
     AdaptiveBatcher,
     Batcher,
+    BucketBatcher,
     NoneBatcher,
+    PadBatcher,
     SizeCapBatcher,
     TimeWindowBatcher,
     available_batchers,
@@ -93,7 +98,15 @@ from repro.serving.scheduler import (
     register_scheduler,
 )
 from repro.serving.traffic import (
+    EmpiricalLength,
+    FixedLength,
+    LengthSampler,
+    UniformLength,
+    ZipfLength,
     diurnal_arrivals,
+    length_band,
+    length_sampler,
+    lengths_from_trace,
     mix,
     mmpp_arrivals,
     record_trace,
@@ -124,6 +137,14 @@ __all__ = [
     "mix",
     "record_trace",
     "replay_trace",
+    "LengthSampler",
+    "FixedLength",
+    "UniformLength",
+    "ZipfLength",
+    "EmpiricalLength",
+    "length_sampler",
+    "length_band",
+    "lengths_from_trace",
     "Scheduler",
     "FIFOScheduler",
     "PriorityScheduler",
@@ -138,6 +159,8 @@ __all__ = [
     "SizeCapBatcher",
     "TimeWindowBatcher",
     "AdaptiveBatcher",
+    "PadBatcher",
+    "BucketBatcher",
     "register_batcher",
     "get_batcher",
     "available_batchers",

@@ -9,7 +9,7 @@ decides how long to wait and how many queued same-task requests to
 coalesce into one batched execution (costed by the platform's
 ``batch_latency_s`` pipeline model — setup once, steady-state per item).
 
-Four policies are built in:
+Six policies are built in:
 
 * ``"none"`` — serve one request at a time.  This is the default and is
   bit-for-bit identical to the engine's historical stream behaviour
@@ -23,6 +23,12 @@ Four policies are built in:
 * ``"adaptive"`` — SLO-aware: hold only while the head request's
   deadline allows it, and cap the batch so its projected completion
   (via the platform cost model) still meets that deadline.
+* ``"pad"`` — length-aware: coalesce mixed-length requests of one task
+  *family*, padding everyone to the batch's longest sequence; the
+  padding cost is accounted as ``StreamReport.padding_waste_frac``.
+* ``"bucket"`` — length-aware with bounded padding: coalesce only
+  within a geometric length band, so a stray long request cannot
+  multiply a whole batch's cost.
 
 Batchers register under a string key exactly like platforms and
 schedulers do::
@@ -46,6 +52,7 @@ from typing import Callable, TypeVar
 
 from repro.errors import ServingError
 from repro.serving.scheduler import QueuedRequest, Scheduler
+from repro.serving.traffic import length_band
 from repro.workloads.deepbench import RNNTask
 
 __all__ = [
@@ -54,6 +61,8 @@ __all__ = [
     "SizeCapBatcher",
     "TimeWindowBatcher",
     "AdaptiveBatcher",
+    "PadBatcher",
+    "BucketBatcher",
     "register_batcher",
     "get_batcher",
     "available_batchers",
@@ -115,17 +124,28 @@ class Batcher:
         """Pop the batch to execute: the head plus compatible followers.
 
         The default implementation pops the scheduler's head, then keeps
-        popping while the next request to serve is for the *same task*
-        (it must share the head's :class:`~repro.serving.platform.PreparedModel`)
-        and the batch is under ``max_batch``.
+        popping while the next request to serve is :meth:`compatible`
+        with the head and the batch is under ``max_batch``.
         """
         return self._coalesce(queue, self.max_batch)
+
+    def compatible(self, head: QueuedRequest, candidate: QueuedRequest) -> bool:
+        """Whether ``candidate`` may join ``head``'s batch.
+
+        The default requires the *same task* (identical sequence length
+        included), so a batch shares one
+        :class:`~repro.serving.platform.PreparedModel` and needs no
+        padding.  The length-aware policies relax this to the task
+        *family* (:class:`PadBatcher`) or a length band of it
+        (:class:`BucketBatcher`).
+        """
+        return candidate.request.task == head.request.task
 
     def _coalesce(self, queue: Scheduler, limit: int) -> list[QueuedRequest]:
         head = queue.pop()
         batch = [head]
         while len(batch) < limit and len(queue):
-            if queue.peek().request.task != head.request.task:
+            if not self.compatible(head, queue.peek()):
                 break
             batch.append(queue.pop())
         return batch
@@ -317,6 +337,76 @@ class TimeWindowBatcher(Batcher):
             return now
         head = queue.peek()
         return max(now, head.request.arrival_s + self.window_ms / 1e3)
+
+
+@register_batcher("pad")
+class PadBatcher(Batcher):
+    """Greedy family coalescing with padding: batch mixed-length
+    same-family requests, executing everyone at the batch's longest
+    length.
+
+    This is what batched RNN serving on throughput-oriented hardware
+    actually does — and what it costs: the execution is billed at the
+    *padded* length, so every shorter request's excess shows up in
+    :attr:`StreamReport.padding_waste_frac
+    <repro.serving.engine.StreamReport.padding_waste_frac>`.  Like
+    ``size-cap``, it never holds an idle replica.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine, ZipfLength, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> burst = uniform_arrivals(task("gru", 512, 25), rate_per_s=1e6,
+        ...                          n_requests=16, lengths=ZipfLength(10, 200))
+        >>> report = ServingEngine("gpu").serve_stream(
+        ...     burst, batcher="pad", max_batch=8)
+        >>> (report.mean_batch_size > 1.0, report.padding_waste_frac > 0.0)
+        (True, True)
+    """
+
+    def compatible(self, head: QueuedRequest, candidate: QueuedRequest) -> bool:
+        return (
+            candidate.request.task.family_key == head.request.task.family_key
+        )
+
+
+@register_batcher("bucket")
+class BucketBatcher(Batcher):
+    """Length-bucketed coalescing: batch same-family requests only within
+    a geometric length band, so padding is bounded by the band ratio.
+
+    The classic fix for padded batching (cf. bucketed batching in RNN
+    serving systems): requests whose lengths fall in the same
+    ``[base^k, base^(k+1))`` band coalesce and pad at most ``base``-fold;
+    a stray long request can no longer multiply a whole batch's cost.
+    On heavy-tailed (zipf) length mixes this beats ``pad`` on both
+    wasted FLOPs and throughput.
+
+    Example::
+
+        >>> from repro.serving import get_batcher
+        >>> b = get_batcher("bucket", max_batch=8, band_base=2.0)
+        >>> (b.name, b.band_base)
+        ('bucket', 2.0)
+        >>> (b.band(10), b.band(15), b.band(16))
+        ((8, 15), (8, 15), (16, 31))
+    """
+
+    def __init__(self, *, max_batch: int = 8, band_base: float = 2.0) -> None:
+        super().__init__(max_batch=max_batch)
+        if band_base <= 1.0:
+            raise ServingError("band_base must be > 1")
+        self.band_base = band_base
+
+    def band(self, timesteps: int) -> tuple[int, int]:
+        """The inclusive geometric length band containing ``timesteps``."""
+        return length_band(timesteps, self.band_base)
+
+    def compatible(self, head: QueuedRequest, candidate: QueuedRequest) -> bool:
+        h, c = head.request.task, candidate.request.task
+        return h.family_key == c.family_key and self.band(
+            h.timesteps
+        ) == self.band(c.timesteps)
 
 
 @register_batcher("adaptive")

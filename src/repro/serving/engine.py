@@ -42,7 +42,7 @@ from repro.serving.platform import Platform, PreparedModel, get_platform
 from repro.serving.request import ServeRequest, ServeResponse
 from repro.serving.result import ServingResult
 from repro.serving.scheduler import Scheduler, make_scheduler
-from repro.serving.traffic import poisson_arrivals, uniform_arrivals
+from repro.serving.traffic import length_band, poisson_arrivals, uniform_arrivals
 from repro.workloads.deepbench import RNNTask
 
 __all__ = [
@@ -173,6 +173,63 @@ class StreamReport:
         if makespan <= 0:
             return math.inf
         return self.n_requests / makespan
+
+    # -- variable-length / padding accounting ----------------------------
+
+    @property
+    def padding_waste_frac(self) -> float:
+        """Fraction of executed FLOPs wasted on sequence padding.
+
+        A batched execution of mixed-length requests runs every request
+        at the longest member's length (the ``pad`` / ``bucket``
+        policies); the excess over each request's own work is waste.
+        Unbatched (batch-1) serving — the paper's spatial-accelerator
+        scenario — never pads, so this is 0.0 for ``batcher="none"``.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine, uniform_arrivals
+            >>> from repro.workloads.deepbench import task
+            >>> report = ServingEngine("gpu").serve_stream(
+            ...     uniform_arrivals(task("lstm", 512, 25),
+            ...                      rate_per_s=100, n_requests=10))
+            >>> report.padding_waste_frac
+            0.0
+        """
+        executed = sum(r.result.task.flops for r in self.responses)
+        useful = sum(r.request.task.flops for r in self.responses)
+        if executed <= 0:
+            return 0.0
+        return (executed - useful) / executed
+
+    def per_length_band(self, band_base: float = 2.0) -> "dict[str, StreamReport]":
+        """Sub-reports keyed by geometric sequence-length band.
+
+        Requests are grouped by their *own* ``timesteps`` into bands
+        ``[base^k, base^(k+1))``, labelled ``"T16-31"`` etc., so tail
+        latency can be read per length class — long requests hiding
+        behind a healthy global P99 show up here.
+
+        Example::
+
+            >>> from repro.serving import (ServingEngine, ZipfLength,
+            ...                            poisson_arrivals)
+            >>> from repro.workloads.deepbench import task
+            >>> report = ServingEngine("gpu").serve_stream(poisson_arrivals(
+            ...     task("lstm", 512, 25), rate_per_s=500, n_requests=40,
+            ...     seed=1, lengths=ZipfLength(8, 120)))
+            >>> bands = report.per_length_band()
+            >>> sum(b.n_requests for b in bands.values()) == report.n_requests
+            True
+        """
+        groups: dict[tuple[int, int], list[ServeResponse]] = {}
+        for r in self.responses:
+            band = length_band(r.request.task.timesteps, band_base)
+            groups.setdefault(band, []).append(r)
+        return {
+            f"T{lo}-{hi}": self._subset(groups[(lo, hi)])
+            for lo, hi in sorted(groups)
+        }
 
     @property
     def offered_rate_per_s(self) -> float:
@@ -313,15 +370,44 @@ class ServingEngine:
         return self.platform.name
 
     def prepare(self, task: RNNTask) -> PreparedModel:
-        """Fetch (or compile and cache) the prepared model for a task."""
-        prepared = self._cache.get(task)
+        """Fetch (or compile and cache) the prepared model for a task.
+
+        The cache is keyed by the platform's :meth:`Platform.compile_key
+        <repro.serving.platform.Platform.compile_key>`: on
+        length-flexible platforms (all four built-ins) every
+        sequence-length variant of a task family shares one compiled
+        model, so a variable-length stream compiles each family once.
+        The returned model may therefore have been prepared for a
+        different length of the same family — serve through
+        :meth:`result_for` (or :meth:`Platform.serve_request
+        <repro.serving.platform.Platform.serve_request>`), which
+        re-costs it for the actual task.
+        """
+        key = self.platform.compile_key(task)
+        prepared = self._cache.get(key)
         if prepared is not None:
             self.cache_stats.hits += 1
             return prepared
         self.cache_stats.misses += 1
         prepared = self.platform.prepare(task)
-        self._cache[task] = prepared
+        self._cache[key] = prepared
         return prepared
+
+    def result_for(self, task: RNNTask) -> ServingResult:
+        """The batch-1 serving result for a task, via the compile cache.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine
+            >>> from repro.workloads.deepbench import task
+            >>> engine = ServingEngine("gpu")
+            >>> t = task("lstm", 512, 25)
+            >>> short = engine.result_for(t.with_timesteps(5))   # compiles
+            >>> long = engine.result_for(t.with_timesteps(500))  # cache hit
+            >>> (short.latency_s < long.latency_s, engine.cache_stats.misses)
+            (True, 1)
+        """
+        return self.platform.serve_request(self.prepare(task), task)
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -335,7 +421,7 @@ class ServingEngine:
     def serve(self, request: ServeRequest | RNNTask) -> ServeResponse:
         """Serve one request, with no queueing ahead of it."""
         req = self._as_request(request)
-        result = self.platform.serve(self.prepare(req.task))
+        result = self.result_for(req.task)
         return ServeResponse(
             request=req,
             result=result,
@@ -375,11 +461,13 @@ class ServingEngine:
             >>> (res.batch_size, res.latency_s < 8 * t1)
             (8, True)
         """
-        return self.platform.serve_batched(self.prepare(task), batch_size)
+        return self.platform.serve_batched(self.prepare(task), batch_size, task=task)
 
     def batch_latency_s(self, task: RNNTask, batch_size: int) -> float:
         """Latency of a batched execution, from the cached prepared model."""
-        return self.platform.batch_latency_s(self.prepare(task), batch_size)
+        return self.platform.batch_latency_s(
+            self.prepare(task), batch_size, task=task
+        )
 
     def serve_stream(
         self,

@@ -218,7 +218,7 @@ def run_stream(
         engine = engine_list[replica]
         batcher_list[replica].bind_cost(
             lambda task, size, _e=engine: _e.platform.batch_latency_s(
-                _e.prepare(task), size
+                _e.prepare(task), size, task=task
             )
         )
 
@@ -299,13 +299,23 @@ def run_stream(
                 finish_s=finish,
             )
         else:
-            if any(e.request.task != head.request.task for e in entries):
-                raise ServingError(
-                    f"batcher {batcher.name!r} coalesced requests for "
-                    f"different tasks into one batch"
-                )
+            # The batch executes at the longest member's length: every
+            # shorter request is padded up to it (the pad/bucket
+            # policies).  Same-length batches reduce to the head's task
+            # exactly.  Mixing task *families* is a batcher bug.
+            exec_task = head.request.task
+            for e in entries[1:]:
+                t = e.request.task
+                if t == exec_task:
+                    continue
+                if t.family_key != exec_task.family_key:
+                    raise ServingError(
+                        f"batcher {batcher.name!r} coalesced requests from "
+                        f"different task families into one batch"
+                    )
+                exec_task = exec_task.padded_to(t.timesteps)
             engine = engine_list[replica]
-            result = engine.serve_batched(head.request.task, len(entries))
+            result = engine.serve_batched(exec_task, len(entries))
             finish = start + result.latency_s
             for index, entry in enumerate(entries):
                 responses[entry.seq] = ServeResponse(
@@ -331,7 +341,7 @@ def run_stream(
             if not 0 <= replica < active:
                 raise ServingError(f"dispatcher chose invalid replica {replica}")
             engine = engine_list[replica]
-            result = engine.platform.serve(engine.prepare(req.task))
+            result = engine.result_for(req.task)
             entry = QueuedRequest(
                 seq=index,
                 request=req,

@@ -107,6 +107,14 @@ class Platform(ABC):
     #: :meth:`batch_latency_s` itself.
     batch_setup_fraction: float = 0.0
 
+    #: True when one prepared model serves *any sequence length* of its
+    #: task family: the compiled state depends only on the cell shape,
+    #: and cost is affine in the step count (all four built-ins are).
+    #: Such platforms implement :meth:`request_latency_s`, and the
+    #: engine's compile cache collapses length variants onto one
+    #: :meth:`compile_key`.
+    length_flexible: bool = False
+
     @abstractmethod
     def prepare(self, task: RNNTask) -> PreparedModel:
         """One-time compile/initialize phase for ``task``."""
@@ -119,41 +127,130 @@ class Platform(ABC):
         """Convenience: prepare-then-serve in one call (no caching)."""
         return self.serve(self.prepare(task))
 
-    def batch_latency_s(self, prepared: PreparedModel, batch_size: int) -> float:
-        """Latency of serving ``batch_size`` same-task requests together.
+    def compile_key(self, task: RNNTask) -> RNNTask:
+        """The cache key under which ``task``'s compiled state is shared.
+
+        Length-flexible platforms collapse every sequence-length variant
+        of a family onto one key, so a stream whose requests carry
+        per-request ``timesteps`` overrides compiles each family once
+        instead of once per distinct length.  Platforms whose compiled
+        state genuinely depends on ``T`` keep the default exact key.
+        """
+        if self.length_flexible:
+            return task.with_timesteps(1)
+        return task
+
+    def request_latency_s(self, prepared: PreparedModel, task: RNNTask) -> float:
+        """Batch-1 latency of ``task`` served from ``prepared``, where
+        ``task`` may be a sequence-length variant of the prepared task's
+        family.  Length-flexible platforms must override this; for
+        ``task == prepared.task`` it must reproduce
+        ``serve(prepared).latency_s`` exactly.
+        """
+        raise ServingError(
+            f"platform {self.name!r} cannot re-cost a prepared model for "
+            f"{task.name}; it was compiled for {prepared.task.name} and the "
+            f"platform is not length-flexible"
+        )
+
+    def _latency_for(self, prepared: PreparedModel, task: RNNTask) -> float:
+        """Batch-1 latency of ``task``: the exact serve number when the
+        model was prepared for it, the re-costed one otherwise."""
+        if task == prepared.task:
+            return self.serve(prepared).latency_s
+        return self.request_latency_s(prepared, task)
+
+    def serve_request(
+        self, prepared: PreparedModel, task: RNNTask | None = None
+    ) -> ServingResult:
+        """Serve one request for ``task`` from a prepared model.
+
+        ``task`` defaults to the prepared task (plain :meth:`serve`).
+        When it is a length variant of the prepared family, the result
+        is re-costed for the request's *actual* step count via
+        :meth:`request_latency_s` — padding never enters batch-1
+        serving.
+
+        Example::
+
+            >>> from repro.serving import get_platform
+            >>> from repro.workloads.deepbench import task
+            >>> gpu = get_platform("gpu")
+            >>> t = task("lstm", 512, 25)
+            >>> prepared = gpu.prepare(t)
+            >>> short = gpu.serve_request(prepared, t.with_timesteps(5))
+            >>> long = gpu.serve_request(prepared, t.with_timesteps(500))
+            >>> short.latency_s < long.latency_s
+            True
+        """
+        self._check_prepared(prepared)
+        if task is None or task == prepared.task:
+            return self.serve(prepared)
+        if task.family_key != prepared.task.family_key:
+            raise ServingError(
+                f"prepared model for {prepared.task.name} cannot serve "
+                f"{task.name}: different task families"
+            )
+        latency_s = self.request_latency_s(prepared, task)
+        base = self.serve(prepared)
+        return replace(
+            base,
+            task=task,
+            latency_s=latency_s,
+            effective_tflops=task.effective_tflops(latency_s),
+        )
+
+    def batch_latency_s(
+        self,
+        prepared: PreparedModel,
+        batch_size: int,
+        task: RNNTask | None = None,
+    ) -> float:
+        """Latency of serving ``batch_size`` same-shape requests together.
 
         The paper's pipeline model: ``setup + B * steady``, where the
         batch-1 latency splits into ``setup = t1 * batch_setup_fraction``
-        and ``steady = t1 - setup``.  ``batch_latency_s(prepared, 1)`` is
-        exactly the batch-1 serving latency on every platform, so the
-        ``"none"`` batching policy cannot drift from unbatched serving.
+        and ``steady = t1 - setup``.  ``task`` names the executed task
+        when it is a length variant of the prepared family (a padded
+        batch executes at the longest member's length); it defaults to
+        the prepared task.  ``batch_latency_s(prepared, 1)`` is exactly
+        the batch-1 serving latency on every platform, so the ``"none"``
+        batching policy cannot drift from unbatched serving.
         """
         self._check_prepared(prepared)
         _check_batch_size(batch_size)
-        t1 = self.serve(prepared).latency_s
+        t1 = self._latency_for(prepared, task if task is not None else prepared.task)
         setup = t1 * self.batch_setup_fraction
         return setup + batch_size * (t1 - setup)
 
-    def serve_batched(self, prepared: PreparedModel, batch_size: int) -> ServingResult:
-        """Serve a batch of same-task requests as one execution.
+    def serve_batched(
+        self,
+        prepared: PreparedModel,
+        batch_size: int,
+        task: RNNTask | None = None,
+    ) -> ServingResult:
+        """Serve a batch of same-shape requests as one execution.
 
         Returns one :class:`~repro.serving.result.ServingResult` for the
         whole batch: ``latency_s`` is the batch completion time from
         :meth:`batch_latency_s`, ``effective_tflops`` counts all B
-        requests' work, and ``batch_size`` records the coalesced size.
-        ``batch_size=1`` returns the plain :meth:`serve` result, bit for
-        bit.
+        requests' (possibly padded) work, and ``batch_size`` records the
+        coalesced size.  ``task`` is the executed task — for a padded
+        batch, the family padded to the longest member.
+        ``batch_size=1`` returns the plain :meth:`serve_request` result,
+        bit for bit.
         """
         self._check_prepared(prepared)
         _check_batch_size(batch_size)
-        base = self.serve(prepared)
+        exec_task = task if task is not None else prepared.task
+        base = self.serve_request(prepared, exec_task)
         if batch_size == 1:
             return base
-        latency_s = self.batch_latency_s(prepared, batch_size)
+        latency_s = self.batch_latency_s(prepared, batch_size, task=exec_task)
         return replace(
             base,
             latency_s=latency_s,
-            effective_tflops=prepared.task.effective_tflops(latency_s) * batch_size,
+            effective_tflops=exec_task.effective_tflops(latency_s) * batch_size,
             batch_size=batch_size,
         )
 

@@ -75,6 +75,11 @@ class PlasticinePlatform(Platform):
         True
     """
 
+    #: The mapped cell and its per-step schedule depend only on the cell
+    #: shape, never on the sequence length, and total cycles are affine
+    #: in the step count — one compile serves every length variant.
+    length_flexible = True
+
     def __init__(
         self,
         chip: PlasticineConfig | None = None,
@@ -114,6 +119,20 @@ class PlasticinePlatform(Platform):
                 f"({design.resources.bytes_used / 2**20:.1f} MB > "
                 f"{design.resources.onchip_bytes / 2**20:.1f} MB)"
             )
+        if task.layers > 1 or task.decoder_timesteps:
+            # Stacked / seq2seq tasks time-multiplex one mapped cell:
+            # the design above is a single layer, run once per cell-step.
+            # The note stays length-agnostic because this prepared model
+            # is shared by every sequence-length variant of the family.
+            decoder = (
+                f" + a {task.decoder_timesteps}-step decoder leg"
+                if task.decoder_timesteps
+                else ""
+            )
+            notes.append(
+                f"{task.layers} layer(s){decoder} time-multiplex one "
+                f"mapped cell"
+            )
         state = _CompiledPlasticine(
             chip=chip,
             params=params,
@@ -129,7 +148,13 @@ class PlasticinePlatform(Platform):
         self._check_prepared(prepared)
         state: _CompiledPlasticine = prepared.state
         sim = state.simulation
-        latency_s = sim.total_cycles / (state.chip.clock_ghz * 1e9)
+        # total_steps * per-step is sim.total_cycles exactly for the
+        # single-layer tasks the simulator ran (the simulated schedule is
+        # affine in steps with no constant), and extends it to stacked /
+        # seq2seq tasks: every cell-step pays the same simulated cost,
+        # with no per-layer re-setup.
+        cycles = prepared.task.total_steps * (sim.cycles_per_step + sim.step_overhead)
+        latency_s = cycles / (state.chip.clock_ghz * 1e9)
         return ServingResult(
             platform=self.name,
             task=prepared.task,
@@ -142,7 +167,23 @@ class PlasticinePlatform(Platform):
             notes=prepared.notes,
         )
 
-    def batch_latency_s(self, prepared: PreparedModel, batch_size: int) -> float:
+    def request_latency_s(self, prepared: PreparedModel, task: RNNTask) -> float:
+        """Affine re-cost for a length variant: the simulated per-step
+        schedule is length-invariant, so a request of any ``T`` costs
+        exactly ``total_steps`` times the simulated per-step cycles —
+        there is no per-launch constant to re-charge (the pipeline fill
+        is part of every step; the ``h_t`` feedback serializes steps)."""
+        state: _CompiledPlasticine = prepared.state
+        sim = state.simulation
+        cycles = task.total_steps * (sim.cycles_per_step + sim.step_overhead)
+        return cycles / (state.chip.clock_ghz * 1e9)
+
+    def batch_latency_s(
+        self,
+        prepared: PreparedModel,
+        batch_size: int,
+        task: RNNTask | None = None,
+    ) -> float:
         """Exact pipeline model from the cycle simulation.
 
         Within one request the ``h_t`` feedback serializes time steps, so
@@ -151,8 +192,11 @@ class PlasticinePlatform(Platform):
         through the pipeline, so each step's fill/drain and sequencing
         overhead is paid once per step while the bottleneck stage (the
         largest per-step busy-cycle count) runs ``B`` requests' worth of
-        iterations back to back.  ``batch_size=1`` reproduces
-        ``serve().latency_s`` exactly.
+        iterations back to back.  ``task`` is the executed (possibly
+        padded or multi-layer) task; its actual cell-step count scales
+        the model, and the pipeline setup is part of the per-step
+        schedule — never re-charged per layer.  ``batch_size=1``
+        reproduces ``serve().latency_s`` exactly.
         """
         self._check_prepared(prepared)
         _check_batch_size(batch_size)
@@ -162,7 +206,8 @@ class PlasticinePlatform(Platform):
         bottleneck = max(act.busy_cycles for act in sim.activities.values())
         bottleneck = min(bottleneck, per_step)
         fill = per_step - bottleneck
-        cycles = sim.steps * (fill + batch_size * bottleneck)
+        steps = (task if task is not None else prepared.task).total_steps
+        cycles = steps * (fill + batch_size * bottleneck)
         return cycles / (state.chip.clock_ghz * 1e9)
 
 
@@ -199,9 +244,17 @@ class BrainwavePlatform(Platform):
     """
 
     batch_setup_fraction = 0.70
+    #: The instruction schedule depends only on the cell shape; latency
+    #: is affine in the step count, so one prepared model covers every
+    #: sequence-length variant.
+    length_flexible = True
 
     def __init__(self, model: BrainwaveServingModel | None = None) -> None:
         self.model = model or BrainwaveServingModel()
+
+    def request_latency_s(self, prepared: PreparedModel, task: RNNTask) -> float:
+        state: _AnalyticalState = prepared.state
+        return state.model.latency_seconds(task)
 
     def prepare(self, task: RNNTask) -> PreparedModel:
         trace: BrainwaveStepTrace = self.model.step_trace(task)
@@ -233,6 +286,13 @@ class _ProcessorPlatform(Platform):
     """Shared prepare/serve for the CPU and GPU streaming models."""
 
     model: CPUServingModel | GPUServingModel
+    #: Per-step streaming cost depends only on the cell shape; latency
+    #: is affine in the step count.
+    length_flexible = True
+
+    def request_latency_s(self, prepared: PreparedModel, task: RNNTask) -> float:
+        state: _AnalyticalState = prepared.state
+        return state.model.latency_seconds(task)
 
     def prepare(self, task: RNNTask) -> PreparedModel:
         state = _AnalyticalState(

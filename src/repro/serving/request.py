@@ -127,3 +127,19 @@ class ServeResponse:
     @property
     def sojourn_ms(self) -> float:
         return self.sojourn_s * 1e3
+
+    @property
+    def padded_timesteps(self) -> int:
+        """Sequence steps this request was padded by.
+
+        ``result.task`` is the task the platform actually executed; when
+        a length-aware batcher coalesced this request with longer ones,
+        the execution ran at the batch maximum and the difference is
+        padding.  0 for unbatched or same-length executions.
+        """
+        return self.result.task.timesteps - self.request.task.timesteps
+
+    @property
+    def padding_waste_flops(self) -> int:
+        """FLOPs spent computing this request's padding (0 = no padding)."""
+        return self.result.task.flops - self.request.task.flops

@@ -19,13 +19,26 @@ Every generator is seeded and deterministic: the same arguments produce
 the identical request sequence, so experiments and tests are repeatable.
 All generators accept ``tenant``, ``priority``, and ``slo_ms`` tags that
 flow through to the schedulers and per-tenant report breakdowns.
+
+Real RNN traffic is also **length-distributed**: utterances and
+sentences vary, and padding a batch to its longest member is the
+dominant cost of batched RNN serving.  Every generator therefore accepts
+a ``lengths`` sampler (:class:`FixedLength`, :class:`UniformLength`,
+:class:`ZipfLength`, or :class:`EmpiricalLength` built from a recorded
+trace) that attaches a per-request ``timesteps`` override to each
+arrival via :meth:`RNNTask.with_timesteps
+<repro.workloads.deepbench.RNNTask.with_timesteps>`.  Length sampling
+draws from its own seeded RNG stream, so attaching a distribution never
+perturbs the arrival times.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from dataclasses import replace
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from functools import cached_property
 from pathlib import Path
 from typing import Iterable
 
@@ -34,6 +47,14 @@ from repro.serving.request import ServeRequest
 from repro.workloads.deepbench import RNNTask
 
 __all__ = [
+    "LengthSampler",
+    "FixedLength",
+    "UniformLength",
+    "ZipfLength",
+    "EmpiricalLength",
+    "length_sampler",
+    "length_band",
+    "lengths_from_trace",
     "poisson_arrivals",
     "uniform_arrivals",
     "mmpp_arrivals",
@@ -51,6 +72,252 @@ def _check_stream_args(rate_per_s: float, n_requests: int) -> None:
         raise ServingError("n_requests must be >= 1")
 
 
+# -- sequence-length distributions ---------------------------------------
+
+#: Seed-stream tag separating length sampling from arrival-time sampling:
+#: the same ``seed`` yields the same arrival times with or without a
+#: length distribution attached.
+_LENGTH_STREAM = 0x4C454E  # "LEN"
+
+
+class LengthSampler(ABC):
+    """Seeded per-request sequence-length distribution.
+
+    Samplers are pure descriptions; all randomness comes from the
+    generator-owned RNG passed to :meth:`sample`, so the same traffic
+    seed reproduces the same lengths.
+
+    Example::
+
+        >>> from repro.serving import FixedLength
+        >>> import numpy as np
+        >>> FixedLength(25).sample(np.random.default_rng(0))
+        25
+    """
+
+    @abstractmethod
+    def sample(self, rng) -> int:
+        """Draw one sequence length (``timesteps >= 1``)."""
+
+
+@dataclass(frozen=True)
+class FixedLength(LengthSampler):
+    """Every request gets the same length — the paper's fixed-T scenario
+    expressed through the variable-length machinery.
+
+    Example::
+
+        >>> from repro.serving import FixedLength
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(7)
+        >>> {FixedLength(50).sample(rng) for _ in range(5)}
+        {50}
+    """
+
+    timesteps: int
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1:
+            raise ServingError("FixedLength timesteps must be >= 1")
+
+    def sample(self, rng) -> int:
+        return self.timesteps
+
+
+@dataclass(frozen=True)
+class UniformLength(LengthSampler):
+    """Lengths drawn uniformly from ``[lo, hi]`` inclusive.
+
+    Example::
+
+        >>> from repro.serving import UniformLength
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(3)
+        >>> all(10 <= UniformLength(10, 20).sample(rng) <= 20
+        ...     for _ in range(50))
+        True
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ServingError(f"need 1 <= lo <= hi, got [{self.lo}, {self.hi}]")
+
+    def sample(self, rng) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+
+@dataclass(frozen=True)
+class ZipfLength(LengthSampler):
+    """Zipf-distributed lengths on ``[lo, hi]``: short sequences dominate,
+    long ones form a heavy tail — the shape interactive speech/translation
+    traffic actually has, and the worst case for padded batching.
+
+    ``P(length = lo + k) ∝ (k + 1)^-alpha``.
+
+    Example::
+
+        >>> from repro.serving import ZipfLength
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(0)
+        >>> draws = [ZipfLength(10, 200).sample(rng) for _ in range(200)]
+        >>> (min(draws) >= 10, max(draws) <= 200,
+        ...  sum(d < 30 for d in draws) > sum(d > 100 for d in draws))
+        (True, True, True)
+    """
+
+    lo: int
+    hi: int
+    alpha: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ServingError(f"need 1 <= lo <= hi, got [{self.lo}, {self.hi}]")
+        if self.alpha <= 0:
+            raise ServingError("ZipfLength alpha must be positive")
+
+    @cached_property
+    def _probs(self):
+        import numpy as np
+
+        ranks = np.arange(1, self.hi - self.lo + 2, dtype=float)
+        weights = ranks**-self.alpha
+        return weights / weights.sum()
+
+    def sample(self, rng) -> int:
+        return self.lo + int(rng.choice(len(self._probs), p=self._probs))
+
+
+@dataclass(frozen=True)
+class EmpiricalLength(LengthSampler):
+    """Lengths resampled (with replacement) from an observed population —
+    e.g. the ``timesteps`` column of a recorded trace.
+
+    Example::
+
+        >>> from repro.serving import EmpiricalLength
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(1)
+        >>> sampler = EmpiricalLength((5, 5, 80))
+        >>> set(sampler.sample(rng) for _ in range(60)) <= {5, 80}
+        True
+    """
+
+    population: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.population:
+            raise ServingError("EmpiricalLength needs a non-empty population")
+        if any(t < 1 for t in self.population):
+            raise ServingError("EmpiricalLength lengths must be >= 1")
+
+    def sample(self, rng) -> int:
+        return int(self.population[int(rng.integers(len(self.population)))])
+
+
+def length_sampler(spec: str) -> LengthSampler:
+    """Parse a CLI-style length-distribution spec into a sampler.
+
+    Accepted forms (see ``docs/CLI.md``):
+
+    * ``fixed:T`` — every request T steps;
+    * ``uniform:LO:HI`` — uniform on [LO, HI];
+    * ``zipf:LO:HI`` / ``zipf:LO:HI:ALPHA`` — Zipf on [LO, HI];
+    * ``trace:PATH`` — empirical, resampled from a recorded JSONL trace.
+
+    Example::
+
+        >>> from repro.serving import length_sampler
+        >>> length_sampler("zipf:10:200:1.5").alpha
+        1.5
+        >>> length_sampler("uniform:10:50").hi
+        50
+    """
+    kind, _, rest = spec.partition(":")
+    fields = rest.split(":") if rest else []
+    try:
+        if kind == "fixed" and len(fields) == 1:
+            return FixedLength(int(fields[0]))
+        if kind == "uniform" and len(fields) == 2:
+            return UniformLength(int(fields[0]), int(fields[1]))
+        if kind == "zipf" and len(fields) in (2, 3):
+            alpha = float(fields[2]) if len(fields) == 3 else 1.2
+            return ZipfLength(int(fields[0]), int(fields[1]), alpha)
+        if kind == "trace" and rest:
+            return lengths_from_trace(rest)
+    except ValueError as exc:
+        raise ServingError(f"bad length-distribution spec {spec!r}: {exc}") from exc
+    raise ServingError(
+        f"bad length-distribution spec {spec!r}; expected fixed:T, "
+        f"uniform:LO:HI, zipf:LO:HI[:ALPHA], or trace:PATH"
+    )
+
+
+def length_band(timesteps: int, band_base: float = 2.0) -> tuple[int, int]:
+    """The inclusive geometric band ``[lo, hi]`` containing ``timesteps``.
+
+    Bands partition lengths into ``[base^k, base^(k+1))`` intervals —
+    the grouping used by the ``bucket`` batcher and by
+    :meth:`StreamReport.per_length_band
+    <repro.serving.engine.StreamReport.per_length_band>`.  Edges are
+    found by exact multiplication up from 1 rather than a float
+    logarithm, so boundary lengths land in the right band (``floor(log)``
+    puts 1000 in base-10 band 2 because ``log10(1000)`` rounds below 3).
+
+    Example::
+
+        >>> from repro.serving import length_band
+        >>> (length_band(15), length_band(16), length_band(1))
+        ((8, 15), (16, 31), (1, 1))
+        >>> length_band(1000, band_base=10)
+        (1000, 9999)
+    """
+    if band_base <= 1.0:
+        raise ServingError("band_base must be > 1")
+    if timesteps < 1:
+        raise ServingError("timesteps must be >= 1")
+    lo = 1.0
+    while lo * band_base <= timesteps:
+        lo *= band_base
+    return math.ceil(lo), math.ceil(lo * band_base) - 1
+
+
+def lengths_from_trace(path: str | Path) -> EmpiricalLength:
+    """Build an empirical length sampler from a recorded trace's
+    per-request ``timesteps`` (see :func:`record_trace`).
+
+    Example::
+
+        >>> import os, tempfile
+        >>> from repro.serving import (lengths_from_trace, record_trace,
+        ...                            uniform_arrivals)
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = uniform_arrivals(task("lstm", 512, 25),
+        ...                         rate_per_s=10, n_requests=3)
+        >>> p = os.path.join(tempfile.mkdtemp(), "t.jsonl")
+        >>> lengths_from_trace(record_trace(reqs, p)).population
+        (25, 25, 25)
+    """
+    return EmpiricalLength(
+        tuple(req.task.timesteps for req in replay_trace(path))
+    )
+
+
+def _length_variants(
+    task: RNNTask, n: int, lengths: LengthSampler | None, seed: int
+) -> list[RNNTask]:
+    """The per-request task list: ``task`` itself everywhere, or length
+    variants drawn from ``lengths`` on an independent seeded stream."""
+    if lengths is None:
+        return [task] * n
+    import numpy as np
+
+    rng = np.random.default_rng((seed, _LENGTH_STREAM))
+    return [task.with_timesteps(lengths.sample(rng)) for _ in range(n)]
+
+
 def poisson_arrivals(
     task: RNNTask,
     *,
@@ -61,11 +328,14 @@ def poisson_arrivals(
     tenant: str = "default",
     priority: int = 0,
     slo_ms: float | None = None,
+    lengths: LengthSampler | None = None,
 ) -> tuple[ServeRequest, ...]:
     """A Poisson request stream for one task (exponential inter-arrivals).
 
     The same seed at two different rates yields time-scaled copies of the
-    same stream, which keeps rate sweeps comparable.
+    same stream, which keeps rate sweeps comparable.  ``lengths`` draws a
+    per-request ``timesteps`` override from its own seeded stream, so
+    arrival times are identical with or without it.
 
     Example::
 
@@ -84,9 +354,10 @@ def poisson_arrivals(
     rng = np.random.default_rng(seed)
     inter = rng.exponential(1.0 / rate_per_s, size=n_requests)
     arrivals = np.cumsum(inter)
+    tasks = _length_variants(task, n_requests, lengths, seed)
     return tuple(
         ServeRequest(
-            task=task,
+            task=tasks[i],
             arrival_s=start_s + float(t),
             request_id=i,
             tenant=tenant,
@@ -106,8 +377,13 @@ def uniform_arrivals(
     tenant: str = "default",
     priority: int = 0,
     slo_ms: float | None = None,
+    seed: int = 0,
+    lengths: LengthSampler | None = None,
 ) -> tuple[ServeRequest, ...]:
     """A deterministic evenly-spaced request stream for one task.
+
+    ``seed`` only feeds the optional ``lengths`` sampler — the arrival
+    times themselves are deterministic.
 
     Example::
 
@@ -120,9 +396,10 @@ def uniform_arrivals(
     """
     _check_stream_args(rate_per_s, n_requests)
     period = 1.0 / rate_per_s
+    tasks = _length_variants(task, n_requests, lengths, seed)
     return tuple(
         ServeRequest(
-            task=task,
+            task=tasks[i],
             arrival_s=start_s + (i + 1) * period,
             request_id=i,
             tenant=tenant,
@@ -146,6 +423,7 @@ def mmpp_arrivals(
     tenant: str = "default",
     priority: int = 0,
     slo_ms: float | None = None,
+    lengths: LengthSampler | None = None,
 ) -> tuple[ServeRequest, ...]:
     """A two-state Markov-modulated Poisson process (quiet vs burst).
 
@@ -192,9 +470,10 @@ def mmpp_arrivals(
             t = state_end
             state = 1 - state
             state_end = t + float(rng.exponential(dwells[state]))
+    tasks = _length_variants(task, n_requests, lengths, seed)
     return tuple(
         ServeRequest(
-            task=task,
+            task=tasks[i],
             arrival_s=start_s + at,
             request_id=i,
             tenant=tenant,
@@ -217,6 +496,7 @@ def diurnal_arrivals(
     tenant: str = "default",
     priority: int = 0,
     slo_ms: float | None = None,
+    lengths: LengthSampler | None = None,
 ) -> tuple[ServeRequest, ...]:
     """A sinusoidal rate ramp: a compressed day/night traffic cycle.
 
@@ -251,9 +531,10 @@ def diurnal_arrivals(
         rate = base_rate_per_s + swing * (1.0 - math.cos(2.0 * math.pi * t / period_s)) / 2.0
         if float(rng.uniform()) * peak_rate_per_s <= rate:
             times.append(t)
+    tasks = _length_variants(task, n_requests, lengths, seed)
     return tuple(
         ServeRequest(
-            task=task,
+            task=tasks[i],
             arrival_s=start_s + at,
             request_id=i,
             tenant=tenant,
@@ -303,7 +584,10 @@ def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
 
 
 #: Trace schema version, recorded on every line for forward compatibility.
-_TRACE_VERSION = 1
+#: v2 added ``layers``/``decoder_timesteps`` and dropped the always-1
+#: ``batch`` field; v1 traces still replay (a non-1 ``batch`` is
+#: rejected — per-request batching was never representable).
+_TRACE_VERSION = 2
 
 
 def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
@@ -334,7 +618,8 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
                     "kind": req.task.kind,
                     "hidden": req.task.hidden,
                     "timesteps": req.task.timesteps,
-                    "batch": req.task.batch,
+                    "layers": req.task.layers,
+                    "decoder_timesteps": req.task.decoder_timesteps,
                     "in_table6": req.task.in_table6,
                     "arrival_s": req.arrival_s,
                     "request_id": req.request_id,
@@ -373,13 +658,22 @@ def replay_trace(path: str | Path) -> tuple[ServeRequest, ...]:
             continue
         try:
             rec = json.loads(line)
+            if rec.get("batch", 1) != 1:
+                # v1 recorded the (removed, always-1) RNNTask.batch field.
+                raise ServingError(
+                    f"trace line {lineno} in {path} carries batch="
+                    f"{rec['batch']}; per-request batch sizes were never "
+                    f"supported — batching is a serving policy, not a "
+                    f"task attribute"
+                )
             requests.append(
                 ServeRequest(
                     task=RNNTask(
                         rec["kind"],
                         rec["hidden"],
                         rec["timesteps"],
-                        batch=rec.get("batch", 1),
+                        layers=rec.get("layers", 1),
+                        decoder_timesteps=rec.get("decoder_timesteps", 0),
                         in_table6=rec.get("in_table6", True),
                     ),
                     arrival_s=rec["arrival_s"],

@@ -1,4 +1,5 @@
-"""Benchmark workloads (Baidu DeepBench RNN inference)."""
+"""Benchmark workloads: the DeepBench RNN suite plus the model zoo
+(stacked and encoder-decoder tasks, see :mod:`repro.workloads.zoo`)."""
 
 from repro.workloads.deepbench import (
     GRU_TASKS,
@@ -8,5 +9,18 @@ from repro.workloads.deepbench import (
     table6_tasks,
     task,
 )
+from repro.workloads.zoo import ZOO_TASKS, seq2seq, stacked, zoo_task, zoo_tasks
 
-__all__ = ["RNNTask", "LSTM_TASKS", "GRU_TASKS", "all_tasks", "table6_tasks", "task"]
+__all__ = [
+    "RNNTask",
+    "LSTM_TASKS",
+    "GRU_TASKS",
+    "all_tasks",
+    "table6_tasks",
+    "task",
+    "stacked",
+    "seq2seq",
+    "ZOO_TASKS",
+    "zoo_tasks",
+    "zoo_task",
+]

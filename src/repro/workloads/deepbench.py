@@ -4,11 +4,29 @@ Baidu DeepBench's RNN inference suite uses batch size 1 and input feature
 dimension equal to the hidden dimension.  The paper evaluates five LSTM
 and five GRU points in Table 6; Table 7 (and the Section 5.2 discussion of
 "the largest GRU") adds GRU H=2816, which we carry with a flag.
+
+Beyond the paper's fixed-length single-layer points, :class:`RNNTask`
+also describes the workloads real RNN serving sees (see
+:mod:`repro.workloads.zoo`):
+
+* **stacked** models (``layers`` > 1): L identical cells run back to
+  back per time step, so a request costs ``L`` cell-steps per input
+  step and carries ``L`` layers' worth of weights;
+* **encoder-decoder / seq2seq** models (``decoder_timesteps`` > 0): the
+  encoder consumes ``timesteps`` inputs, then a decoder of the same
+  shape emits ``decoder_timesteps`` outputs — one request runs
+  ``timesteps + decoder_timesteps`` steps through every layer;
+* **per-request sequence lengths**: :meth:`RNNTask.with_timesteps`
+  derives a length variant of a task (same weights, different ``T``),
+  which is how the traffic generators attach a sampled length to each
+  arrival.  Variants of one task share a :attr:`RNNTask.family_key`, the
+  compatibility token for length-aware batching and for sharing one
+  compiled model across lengths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.errors import WorkloadError
 from repro.rnn.params import RNNShape
@@ -18,41 +36,95 @@ __all__ = ["RNNTask", "LSTM_TASKS", "GRU_TASKS", "all_tasks", "table6_tasks", "t
 
 @dataclass(frozen=True)
 class RNNTask:
-    """One DeepBench serving task.
+    """One RNN serving task.
 
     Attributes:
         kind: ``"lstm"`` or ``"gru"``.
         hidden: Hidden units ``H`` (input dim ``D = H`` in DeepBench).
-        timesteps: Sequence length ``T``.
-        batch: Always 1 for real-time serving.
+        timesteps: Input sequence length ``T`` (the encoder length for
+            seq2seq tasks).
+        layers: Stacked cell layers ``L`` (keyword-only; DeepBench
+            points are single-layer).
+        decoder_timesteps: Output steps of the decoder leg for
+            encoder-decoder tasks (keyword-only; 0 = plain RNN).
         in_table6: Whether the paper reports this point in Table 6.
+
+    Serving is always batch 1 per request — the paper's scenario.  The
+    historical ``batch`` field (always 1, silently ignored) is gone;
+    coalesced execution sizes live on
+    :class:`~repro.serving.result.ServingResult` instead.
     """
 
     kind: str
     hidden: int
     timesteps: int
-    batch: int = 1
-    in_table6: bool = True
+    layers: int = field(default=1, kw_only=True)
+    decoder_timesteps: int = field(default=0, kw_only=True)
+    in_table6: bool = field(default=True, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.kind not in ("lstm", "gru"):
             raise WorkloadError(f"unknown RNN kind {self.kind!r}")
-        if self.hidden <= 0 or self.timesteps <= 0 or self.batch <= 0:
+        if self.hidden <= 0 or self.timesteps <= 0:
             raise WorkloadError(f"invalid task dimensions: {self}")
+        if self.layers < 1:
+            raise WorkloadError(f"layers must be >= 1: {self}")
+        if self.decoder_timesteps < 0:
+            raise WorkloadError(f"decoder_timesteps must be >= 0: {self}")
 
     @property
     def name(self) -> str:
-        return f"{self.kind}-h{self.hidden}-t{self.timesteps}"
+        base = f"{self.kind}-h{self.hidden}"
+        if self.layers > 1:
+            base += f"-l{self.layers}"
+        base += f"-t{self.timesteps}"
+        if self.decoder_timesteps:
+            base += f"d{self.decoder_timesteps}"
+        return base
 
     @property
     def shape(self) -> RNNShape:
+        """The per-cell tensor shape (identical for every layer: DeepBench
+        uses ``D = H``, so layer inputs and hidden states coincide)."""
         return RNNShape(self.kind, self.hidden, self.hidden)
+
+    @property
+    def total_steps(self) -> int:
+        """Sequential cell evaluations one request runs:
+        ``L * (T + T_dec)``.  Every latency model is linear in this."""
+        return self.layers * (self.timesteps + self.decoder_timesteps)
+
+    @property
+    def family_key(self) -> tuple:
+        """Everything about the task except its sequence length.
+
+        Two tasks with equal family keys share weights and compiled
+        state and may be padded into one batched execution; they differ
+        only in ``timesteps``.
+        """
+        return (
+            self.kind,
+            self.hidden,
+            self.layers,
+            self.decoder_timesteps,
+            self.in_table6,
+        )
+
+    def with_timesteps(self, timesteps: int) -> "RNNTask":
+        """A length variant of this task (same family, different ``T``)."""
+        if timesteps == self.timesteps:
+            return self
+        return replace(self, timesteps=timesteps)
+
+    def padded_to(self, timesteps: int) -> "RNNTask":
+        """This task padded (never truncated) to at least ``timesteps``."""
+        return self.with_timesteps(max(self.timesteps, timesteps))
 
     @property
     def flops(self) -> int:
         """Total MVM FLOPs, the paper's effective-TFLOPS numerator:
-        ``T * 2 * G * H * R``."""
-        return self.timesteps * self.shape.mvm_flops_per_step()
+        ``L * (T + T_dec) * 2 * G * H * R``."""
+        return self.total_steps * self.shape.mvm_flops_per_step()
 
     def effective_tflops(self, latency_seconds: float) -> float:
         """Effective TFLOPS at a measured latency."""
@@ -61,7 +133,12 @@ class RNNTask:
         return self.flops / latency_seconds / 1e12
 
     def weight_bytes(self, bytes_per_element: float) -> float:
-        """Weight footprint at a storage precision."""
+        """Total weight footprint at a storage precision (all layers)."""
+        return self.layers * self.shape.weight_count * bytes_per_element
+
+    def cell_weight_bytes(self, bytes_per_element: float) -> float:
+        """Weight footprint of one cell layer — what one time step
+        streams on the weight-streaming baselines."""
         return self.shape.weight_count * bytes_per_element
 
 

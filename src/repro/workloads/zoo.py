@@ -1,0 +1,131 @@
+"""The model zoo: stacked and encoder-decoder RNN serving workloads.
+
+The paper's evaluation (Table 6/7) is fixed-length, single-layer
+DeepBench points.  Production RNN serving is dominated by two richer
+shapes this module describes:
+
+* **stacked** models — speech pipelines à la DeepSpeech 2 run several
+  identical GRU/LSTM layers per time step;
+* **seq2seq / encoder-decoder** models — translation à la GNMT runs an
+  encoder over the input sequence, then a decoder of the same shape
+  emits the output sequence step by step.
+
+Both are expressed on :class:`~repro.workloads.deepbench.RNNTask`
+(``layers`` / ``decoder_timesteps``), so every platform cost model,
+scheduler, batcher, and report works on them unchanged.  Hidden sizes in
+the named zoo reuse the DeepBench suite's sizes, so Plasticine's
+reconstructed Table 7 loop parameters apply and no DSE run is needed to
+serve them.
+
+Example::
+
+    >>> from repro.workloads.zoo import stacked, seq2seq, zoo_task
+    >>> stacked("gru", 1536, 150, layers=3).total_steps
+    450
+    >>> seq2seq("lstm", 1024, 30, 30, layers=2).name
+    'lstm-h1024-l2-t30d30'
+    >>> zoo_task("s2s-gru-512").decoder_timesteps
+    10
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.deepbench import RNNTask
+
+__all__ = ["stacked", "seq2seq", "ZOO_TASKS", "zoo_tasks", "zoo_task"]
+
+
+def stacked(kind: str, hidden: int, timesteps: int, layers: int) -> RNNTask:
+    """An L-layer stacked RNN task (``layers`` identical cells per step).
+
+    Example::
+
+        >>> t = stacked("lstm", 512, 25, layers=2)
+        >>> (t.name, t.layers, t.total_steps)
+        ('lstm-h512-l2-t25', 2, 50)
+    """
+    if layers < 2:
+        raise WorkloadError(
+            f"a stacked task needs layers >= 2, got {layers}; "
+            f"use repro.workloads.deepbench.task for single-layer models"
+        )
+    return RNNTask(kind, hidden, timesteps, layers=layers, in_table6=False)
+
+
+def seq2seq(
+    kind: str,
+    hidden: int,
+    encoder_timesteps: int,
+    decoder_timesteps: int,
+    *,
+    layers: int = 1,
+) -> RNNTask:
+    """An encoder-decoder task: ``encoder_timesteps`` in,
+    ``decoder_timesteps`` out, through ``layers`` stacked cells.
+
+    Example::
+
+        >>> t = seq2seq("gru", 512, 25, 10)
+        >>> (t.timesteps, t.decoder_timesteps, t.total_steps)
+        (25, 10, 35)
+    """
+    if decoder_timesteps < 1:
+        raise WorkloadError(
+            f"a seq2seq task needs decoder_timesteps >= 1, got {decoder_timesteps}"
+        )
+    return RNNTask(
+        kind,
+        hidden,
+        encoder_timesteps,
+        layers=layers,
+        decoder_timesteps=decoder_timesteps,
+        in_table6=False,
+    )
+
+
+#: Named zoo workloads.  Shapes are scaled after well-known production
+#: models but pinned to DeepBench hidden sizes so the reconstructed
+#: Table 7 Plasticine parameters cover them.
+ZOO_TASKS: dict[str, RNNTask] = {
+    # DeepSpeech-2-like speech pipeline: 3 stacked GRU layers over a
+    # 150-step utterance.
+    "ds2-gru-3x1536": stacked("gru", 1536, 150, layers=3),
+    # GNMT-like translation: 2 stacked LSTM layers, 30-token encoder,
+    # 30-token decoder.
+    "gnmt-lstm-2x1024": seq2seq("lstm", 1024, 30, 30, layers=2),
+    # A small interactive seq2seq point (chat-style completion).
+    "s2s-gru-512": seq2seq("gru", 512, 25, 10),
+    # A 2-layer variant of the paper's LSTM 512 point.
+    "stack-lstm-2x512": stacked("lstm", 512, 25, layers=2),
+}
+
+
+def zoo_tasks() -> tuple[RNNTask, ...]:
+    """Every named zoo task, in name order.
+
+    Example::
+
+        >>> [t.layers for t in zoo_tasks()] == [3, 2, 1, 2]
+        True
+    """
+    return tuple(ZOO_TASKS[name] for name in sorted(ZOO_TASKS))
+
+
+def zoo_task(name: str) -> RNNTask:
+    """Look up a zoo task by its registry name.
+
+    Example::
+
+        >>> zoo_task("ds2-gru-3x1536").layers
+        3
+        >>> zoo_task("nope")  # doctest: +IGNORE_EXCEPTION_DETAIL
+        Traceback (most recent call last):
+        WorkloadError: ...
+    """
+    try:
+        return ZOO_TASKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown zoo task {name!r}; known: {', '.join(sorted(ZOO_TASKS))}"
+        ) from None

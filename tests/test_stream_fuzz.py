@@ -1,0 +1,233 @@
+"""Seeded randomized stress suite for the stream event loop.
+
+Each case draws a whole serving scenario — task mix (single-layer,
+stacked, seq2seq), sequence-length distribution, arrival process,
+scheduler, batcher, replica count, autoscaling — from a seeded
+``random.Random``, runs it end to end, and asserts the engine invariants
+that must hold for *every* configuration:
+
+* request conservation — every request answered exactly once;
+* no negative waits — ``arrival <= start <= finish`` everywhere;
+* a monotone, non-overlapping execution timeline per replica;
+* ``throughput_rps`` consistent with the stream makespan;
+* per-tenant / per-priority / per-length-band slices summing to the
+  whole stream;
+* padding only where a length-aware batcher can introduce it, and the
+  waste fraction well-formed.
+
+Seeds are fixed, so CI is deterministic; a failure message names the
+seed and the drawn scenario for replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serving import (
+    Autoscaler,
+    Fleet,
+    FixedLength,
+    ServingEngine,
+    UniformLength,
+    ZipfLength,
+    get_batcher,
+    get_scheduler,
+    mix,
+    mmpp_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.deepbench import RNNTask, task
+from repro.workloads.zoo import seq2seq, stacked
+
+#: Cheap analytical platforms carry the fuzz volume; plasticine compiles
+#: (fast, paper-params hidden sizes only) and gets its own seeds below.
+_PLATFORMS = ("cpu", "gpu", "brainwave")
+_SCHEDULERS = ("fifo", "priority", "edf", "sjf", "coalesce")
+_BATCHERS = ("none", "size-cap", "time-window", "adaptive", "pad", "bucket")
+_BASE_TASKS = (
+    task("lstm", 512, 25),
+    task("gru", 512, 25),
+    RNNTask("gru", 256, 40, in_table6=False),
+    stacked("lstm", 512, 20, layers=2),
+    seq2seq("gru", 512, 15, 10),
+)
+
+
+def _draw_lengths(rng: random.Random):
+    kind = rng.choice(("none", "fixed", "uniform", "zipf"))
+    if kind == "none":
+        return None
+    if kind == "fixed":
+        return FixedLength(rng.randint(1, 60))
+    if kind == "uniform":
+        lo = rng.randint(1, 20)
+        return UniformLength(lo, lo + rng.randint(0, 80))
+    lo = rng.randint(1, 15)
+    return ZipfLength(lo, lo + rng.randint(5, 200), alpha=rng.uniform(1.0, 2.2))
+
+
+def _draw_stream(rng: random.Random):
+    streams = []
+    for tenant_idx in range(rng.randint(1, 3)):
+        base = rng.choice(_BASE_TASKS)
+        n = rng.randint(10, 40)
+        seed = rng.randint(0, 10_000)
+        kwargs = dict(
+            n_requests=n,
+            seed=seed,
+            tenant=f"tenant-{tenant_idx}-{base.name}",
+            priority=rng.choice((0, 0, 1, 2)),
+            slo_ms=rng.choice((None, 5.0, 50.0, 500.0)),
+            lengths=_draw_lengths(rng),
+        )
+        if rng.random() < 0.5:
+            streams.append(
+                poisson_arrivals(base, rate_per_s=rng.uniform(50, 5000), **kwargs)
+            )
+        else:
+            streams.append(
+                mmpp_arrivals(
+                    base,
+                    quiet_rate_per_s=rng.uniform(20, 500),
+                    burst_rate_per_s=rng.uniform(1000, 20000),
+                    **kwargs,
+                )
+            )
+    return mix(*streams)
+
+
+def _draw_server(rng: random.Random, platform: str):
+    scheduler = rng.choice(_SCHEDULERS)
+    batcher_name = rng.choice(_BATCHERS)
+    max_batch = rng.choice((1, 2, 4, 8))
+    replicas = rng.randint(1, 3)
+    autoscaler = (
+        Autoscaler(min_replicas=1, max_replicas=replicas + 2)
+        if rng.random() < 0.4
+        else None
+    )
+    use_fleet = replicas > 1 or autoscaler is not None
+    return scheduler, batcher_name, max_batch, replicas, autoscaler, use_fleet
+
+
+def _run(seed: int, platform: str):
+    rng = random.Random(seed)
+    arrivals = _draw_stream(rng)
+    scheduler, batcher, max_batch, replicas, autoscaler, use_fleet = _draw_server(
+        rng, platform
+    )
+    slo_ms = rng.choice((None, 10.0, 100.0))
+    if slo_ms is None and any(r.slo_ms is None for r in arrivals):
+        slo_ms = 100.0  # keep slo_attainment well-defined on every run
+    scenario = (
+        f"seed={seed} platform={platform} scheduler={scheduler} "
+        f"batcher={batcher} cap={max_batch} replicas={replicas} "
+        f"autoscale={autoscaler is not None} n={len(arrivals)}"
+    )
+    if use_fleet:
+        fleet = Fleet(platform, replicas=replicas, policy=rng.choice(
+            ("round-robin", "least-loaded")))
+        report = fleet.serve_stream(
+            arrivals,
+            slo_ms=slo_ms,
+            scheduler=scheduler,
+            batcher=lambda: get_batcher(batcher) if batcher == "none"
+            else get_batcher(batcher, max_batch=max_batch),
+            autoscaler=autoscaler,
+        )
+    else:
+        report = ServingEngine(platform).serve_stream(
+            arrivals,
+            slo_ms=slo_ms,
+            scheduler=scheduler,
+            batcher=batcher,
+            max_batch=None if batcher == "none" else max_batch,
+        )
+    return arrivals, report, scenario
+
+
+def _assert_invariants(arrivals, report, scenario: str) -> None:
+    eps = 1e-9
+
+    # -- request conservation: every request answered exactly once.
+    assert report.n_requests == len(arrivals), scenario
+    assert sorted(r.request.request_id for r in report.responses) == sorted(
+        r.request_id for r in arrivals
+    ), scenario
+
+    # -- no negative waits, monotone per-request timeline.
+    for r in report.responses:
+        assert r.queue_delay_s >= -eps, f"negative wait: {scenario}"
+        assert r.start_s >= r.request.arrival_s - eps, scenario
+        assert r.finish_s >= r.start_s, scenario
+        assert r.sojourn_s >= r.service_s - eps, scenario
+        assert r.batch_size >= 1 and 0 <= r.batch_index < r.batch_size, scenario
+        assert r.padding_waste_flops >= 0, scenario
+
+    # -- monotone, non-overlapping execution timeline per replica.
+    assignments = getattr(report, "assignments", None)
+    groups: dict[int, set[tuple[float, float]]] = {}
+    for i, r in enumerate(report.responses):
+        replica = assignments[i] if assignments else 0
+        groups.setdefault(replica, set()).add((r.start_s, r.finish_s))
+    for replica, executions in groups.items():
+        ordered = sorted(executions)
+        for (s0, f0), (s1, f1) in zip(ordered, ordered[1:]):
+            assert s1 >= f0 - eps, (
+                f"overlapping executions on replica {replica}: "
+                f"({s0}, {f0}) then ({s1}, {f1}); {scenario}"
+            )
+
+    # -- throughput consistent with makespan.
+    makespan = max(r.finish_s for r in report.responses)
+    assert report.throughput_rps == pytest.approx(
+        report.n_requests / makespan
+    ), scenario
+
+    # -- per-class slices sum to the whole.
+    for slices in (
+        report.per_tenant(),
+        report.per_priority(),
+        report.per_length_band(),
+    ):
+        assert sum(s.n_requests for s in slices.values()) == report.n_requests, (
+            scenario
+        )
+
+    # -- SLO accounting well-formed.
+    assert 0.0 <= report.slo_attainment <= 1.0, scenario
+    assert report.slo_attainment == pytest.approx(1.0 - report.slo_miss_rate)
+
+    # -- padding only where a length-aware batcher can introduce it.
+    assert 0.0 <= report.padding_waste_frac < 1.0, scenario
+    if report.batcher not in ("pad", "bucket"):
+        assert report.padding_waste_frac == 0.0, scenario
+        assert all(r.padded_timesteps == 0 for r in report.responses), scenario
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzzed_stream_invariants(seed):
+    platform = _PLATFORMS[seed % len(_PLATFORMS)]
+    arrivals, report, scenario = _run(seed, platform)
+    _assert_invariants(arrivals, report, scenario)
+
+
+@pytest.mark.parametrize("seed", (100, 101))
+def test_fuzzed_stream_invariants_plasticine(seed):
+    arrivals, report, scenario = _run(seed, "plasticine")
+    _assert_invariants(arrivals, report, scenario)
+
+
+@pytest.mark.parametrize("seed", (0, 7))
+def test_fuzz_is_deterministic(seed):
+    platform = _PLATFORMS[seed % len(_PLATFORMS)]
+    _, first, _ = _run(seed, platform)
+    _, second, _ = _run(seed, platform)
+    assert [
+        (r.start_s, r.finish_s, r.batch_size) for r in first.responses
+    ] == [(r.start_s, r.finish_s, r.batch_size) for r in second.responses]
+    assert first.p99_ms == second.p99_ms
+    assert first.padding_waste_frac == second.padding_waste_frac

@@ -8,9 +8,11 @@ on the shared heap-based discrete-event loop.  The new loop evaluates
 order, so equality here is exact — no tolerances.
 """
 
+import dataclasses
+
 import pytest
 
-from repro.serving import Fleet, ServingEngine, poisson_arrivals
+from repro.serving import Fleet, FixedLength, ServingEngine, poisson_arrivals
 from repro.workloads.deepbench import task
 
 T = task("lstm", 512, 25)
@@ -155,3 +157,76 @@ class TestBatcherNoneGolden:
         assert report.mean_queue_delay_ms == queue
         assert report.slo_miss_rate == miss
         assert report.per_replica_counts == counts
+
+
+class TestVariableLengthPathGolden:
+    """Fixed-length tasks routed through the variable-length machinery
+    stay bit-identical to the classic ``serve_stream`` numbers.
+
+    Three routes into the new code path are pinned: (a) a ``FixedLength``
+    sampler attaching per-request length overrides that equal the task's
+    own length, (b) request tasks constructed as ``with_timesteps``
+    variants (exercising ``family_key``/``compile_key`` sharing and
+    ``Platform.serve_request`` re-costing), and (c) the length-aware
+    ``pad``/``bucket`` batchers with a cap of one, which must coalesce
+    nothing.  All of them must reproduce the goldens exactly — no
+    tolerances."""
+
+    @pytest.mark.parametrize("key", sorted(_ENGINE_GOLDEN), ids=lambda k: k[0])
+    def test_fixed_length_sampler_is_bit_identical(self, key):
+        platform, rate, n, seed = key
+        p50, p99, mean, queue, miss = _ENGINE_GOLDEN[key]
+        arrivals = poisson_arrivals(
+            T,
+            rate_per_s=rate,
+            n_requests=n,
+            seed=seed,
+            lengths=FixedLength(T.timesteps),
+        )
+        report = ServingEngine(platform).serve_stream(arrivals, slo_ms=5.0)
+        assert report.p50_ms == p50
+        assert report.p99_ms == p99
+        assert report.mean_ms == mean
+        assert report.mean_queue_delay_ms == queue
+        assert report.slo_miss_rate == miss
+        assert report.padding_waste_frac == 0.0
+
+    @pytest.mark.parametrize("key", sorted(_ENGINE_GOLDEN), ids=lambda k: k[0])
+    def test_variant_constructed_tasks_are_bit_identical(self, key):
+        platform, rate, n, seed = key
+        p50, p99, mean, queue, miss = _ENGINE_GOLDEN[key]
+        base = poisson_arrivals(T, rate_per_s=rate, n_requests=n, seed=seed)
+        # Same lengths, but every task object rebuilt through the
+        # variant API from a differently-lengthed family member.
+        variant = T.with_timesteps(999).with_timesteps(T.timesteps)
+        assert variant == T
+        arrivals = [dataclasses.replace(r, task=variant) for r in base]
+        engine = ServingEngine(platform)
+        report = engine.serve_stream(arrivals, slo_ms=5.0)
+        assert report.p50_ms == p50
+        assert report.p99_ms == p99
+        assert report.mean_ms == mean
+        assert report.mean_queue_delay_ms == queue
+        assert report.slo_miss_rate == miss
+        # The whole family compiled exactly once.
+        assert engine.cache_stats.misses == 1
+
+    @pytest.mark.parametrize("key", sorted(_ENGINE_GOLDEN), ids=lambda k: k[0])
+    @pytest.mark.parametrize("batcher", ["pad", "bucket"])
+    def test_length_aware_batchers_at_cap_one_are_bit_identical(
+        self, key, batcher
+    ):
+        platform, rate, n, seed = key
+        p50, p99, mean, queue, miss = _ENGINE_GOLDEN[key]
+        arrivals = poisson_arrivals(T, rate_per_s=rate, n_requests=n, seed=seed)
+        report = ServingEngine(platform).serve_stream(
+            arrivals, slo_ms=5.0, batcher=batcher, max_batch=1
+        )
+        assert report.batcher == batcher
+        assert report.p50_ms == p50
+        assert report.p99_ms == p99
+        assert report.mean_ms == mean
+        assert report.mean_queue_delay_ms == queue
+        assert report.slo_miss_rate == miss
+        assert report.mean_batch_size == 1.0
+        assert report.padding_waste_frac == 0.0

@@ -36,8 +36,21 @@ class TestDeepBenchSuite:
         assert t.flops == 25 * 2 * 4 * 2048 * 4096
         assert t.effective_tflops(0.106e-3) == pytest.approx(15.8, rel=0.01)
 
-    def test_batch_is_one(self):
-        assert all(t.batch == 1 for t in all_tasks())
+    def test_batch_field_is_gone(self):
+        # Regression for the removed RNNTask.batch wart: the field was
+        # always 1 and silently ignored by serve_batched.  Batch sizes
+        # are a serving-policy outcome (ServingResult.batch_size), not a
+        # task attribute, and constructing a task with one must fail
+        # loudly rather than be dropped on the floor.
+        with pytest.raises(TypeError):
+            RNNTask("lstm", 512, 25, batch=1)
+        with pytest.raises(TypeError):
+            RNNTask("lstm", 512, 25, 1)  # old positional batch slot
+        assert not any(hasattr(t, "batch") for t in all_tasks())
+
+    def test_suite_is_single_layer_fixed_length(self):
+        assert all(t.layers == 1 and t.decoder_timesteps == 0 for t in all_tasks())
+        assert all(t.total_steps == t.timesteps for t in all_tasks())
 
     def test_lookup_errors(self):
         with pytest.raises(WorkloadError):

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""docs-check: keep docs/ARCHITECTURE.md in sync with the serving package.
+"""docs-check: keep docs/ARCHITECTURE.md in sync with the code layout.
 
-Fails (exit 1) when a module under ``src/repro/serving/`` is not
-mentioned by name in ``docs/ARCHITECTURE.md``, so new serving modules
-cannot land undocumented.  Also sanity-checks that the docs/ suite and
-the README cross-link each other.
+Fails (exit 1) when a module under ``src/repro/serving/`` or
+``src/repro/workloads/`` is not mentioned by name in
+``docs/ARCHITECTURE.md``, so new serving or workload modules cannot land
+undocumented.  Also sanity-checks that the docs/ suite and the README
+cross-link each other.
 
 Run from the repo root (CI does):
 
@@ -17,7 +18,11 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-SERVING = REPO / "src" / "repro" / "serving"
+#: Packages whose every module must appear in docs/ARCHITECTURE.md.
+DOCUMENTED_PACKAGES = (
+    REPO / "src" / "repro" / "serving",
+    REPO / "src" / "repro" / "workloads",
+)
 ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
 
 #: Docs that must exist and the links each must contain.
@@ -41,18 +46,22 @@ def main() -> int:
         return 1
     architecture = ARCHITECTURE.read_text()
 
-    modules = sorted(
-        path.name
-        for path in SERVING.glob("*.py")
-        if path.name != "__init__.py"
-    )
-    if not modules:
-        failures.append(f"no modules found under {SERVING.relative_to(REPO)}")
-    for name in modules:
-        if name not in architecture:
-            failures.append(
-                f"docs/ARCHITECTURE.md does not mention src/repro/serving/{name}"
-            )
+    n_modules = 0
+    for package in DOCUMENTED_PACKAGES:
+        modules = sorted(
+            path.name
+            for path in package.glob("*.py")
+            if path.name != "__init__.py"
+        )
+        if not modules:
+            failures.append(f"no modules found under {package.relative_to(REPO)}")
+        n_modules += len(modules)
+        for name in modules:
+            if name not in architecture:
+                failures.append(
+                    f"docs/ARCHITECTURE.md does not mention "
+                    f"{package.relative_to(REPO)}/{name}"
+                )
 
     for doc, links in REQUIRED_LINKS.items():
         rel = doc.relative_to(REPO)
@@ -70,7 +79,7 @@ def main() -> int:
             print(f"  - {failure}")
         return 1
     print(
-        f"docs-check ok: {len(modules)} serving modules documented, "
+        f"docs-check ok: {n_modules} serving/workload modules documented, "
         f"{len(REQUIRED_LINKS)} docs cross-linked"
     )
     return 0
