@@ -68,6 +68,20 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 _MIX_DEFAULT_TIMESTEPS = 25
 
 
+def _request_count(text: str) -> int:
+    """``--requests`` value: a positive whole number, scientific notation
+    welcome (``--requests 1e6``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid request count {text!r}") from None
+    if not value.is_integer() or value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--requests needs a positive whole number, got {text!r}"
+        )
+    return int(value)
+
+
 def _parse_mix(spec: str):
     """Parse ``--mix`` specs:
     ``kind:hidden[:timesteps[dDEC]][:layers][@slo_ms][^prio]``.
@@ -140,15 +154,30 @@ def _parse_mix(spec: str):
 def _build_stream(args: argparse.Namespace, default_task):
     """Build the arrival stream for --stream mode.
 
-    Returns ``(arrivals, description)``.  Precedence: --trace replays a
-    recorded stream verbatim; --mix interleaves one Poisson tenant per
-    spec (splitting --rate and --requests evenly); otherwise a single
-    Poisson stream of the positional task.
+    Returns ``(make_arrivals, description)`` where ``make_arrivals()``
+    yields a fresh stream per call (each platform consumes its own).
+    Precedence: --trace replays a recorded stream verbatim; --mix
+    interleaves one Poisson tenant per spec (splitting --rate and
+    --requests evenly); otherwise a single Poisson stream of the
+    positional task.
+
+    With ``--mode summary`` everything is *lazy*: the trace is read line
+    by line (:func:`~repro.serving.traffic.iter_trace`), generators
+    yield requests one at a time (``materialize=False``), and --mix
+    merges sorted tenant streams incrementally — a million-request
+    stream never sits in memory.
     """
     from repro.errors import ServingError
-    from repro.serving import length_sampler, mix, poisson_arrivals, record_trace
-    from repro.serving.traffic import replay_trace
+    from repro.serving import (
+        iter_trace,
+        length_sampler,
+        mix,
+        poisson_arrivals,
+        record_trace,
+        replay_trace,
+    )
 
+    lazy = args.mode == "summary"
     lengths = length_sampler(args.length_dist) if args.length_dist else None
     if args.trace:
         if lengths is not None:
@@ -157,42 +186,76 @@ def _build_stream(args: argparse.Namespace, default_task):
                 "trace already records every request's length; drop one "
                 "of --trace / --length-dist"
             )
-        arrivals = replay_trace(args.trace)
+        if lazy:
+            def factory():
+                return iter_trace(args.trace)
+        else:
+            arrivals = replay_trace(args.trace)
+
+            def factory():
+                return arrivals
         desc = f"trace {args.trace}"
     elif args.mix:
         specs = _parse_mix(args.mix)
         per_rate = args.rate / len(specs)
         per_n = max(1, args.requests // len(specs))
-        streams = [
-            poisson_arrivals(
-                t,
-                rate_per_s=per_rate,
-                n_requests=per_n,
-                seed=args.seed + i,
-                tenant=t.name,
-                priority=priority,
-                slo_ms=slo_ms,
-                lengths=lengths,
-            )
-            for i, (t, slo_ms, priority) in enumerate(specs)
-        ]
-        arrivals = mix(*streams)
+
+        def tenant_streams():
+            return [
+                poisson_arrivals(
+                    t,
+                    rate_per_s=per_rate,
+                    n_requests=per_n,
+                    seed=args.seed + i,
+                    tenant=t.name,
+                    priority=priority,
+                    slo_ms=slo_ms,
+                    lengths=lengths,
+                    materialize=not lazy,
+                )
+                for i, (t, slo_ms, priority) in enumerate(specs)
+            ]
+
+        if lazy:
+            def factory():
+                return mix(*tenant_streams(), presorted=True)
+        else:
+            arrivals = mix(*tenant_streams())
+
+            def factory():
+                return arrivals
         desc = f"{len(specs)}-tenant mix at {args.rate:.0f} req/s"
     else:
-        arrivals = poisson_arrivals(
-            default_task,
-            rate_per_s=args.rate,
-            n_requests=args.requests,
-            seed=args.seed,
-            tenant=default_task.name,
-            lengths=lengths,
-        )
+        if lazy:
+            def factory():
+                return poisson_arrivals(
+                    default_task,
+                    rate_per_s=args.rate,
+                    n_requests=args.requests,
+                    seed=args.seed,
+                    tenant=default_task.name,
+                    lengths=lengths,
+                    materialize=False,
+                )
+        else:
+            arrivals = poisson_arrivals(
+                default_task,
+                rate_per_s=args.rate,
+                n_requests=args.requests,
+                seed=args.seed,
+                tenant=default_task.name,
+                lengths=lengths,
+            )
+
+            def factory():
+                return arrivals
         desc = f"{default_task.name} at {args.rate:.0f} req/s"
     if lengths is not None and not args.trace:
         desc += f", lengths {args.length_dist}"
     if args.record_trace:
-        record_trace(arrivals, args.record_trace)
-    return arrivals, desc
+        # record_trace streams line by line, so one lazy pass suffices.
+        record_trace(factory(), args.record_trace)
+    return factory, desc
 
 
 def _tenant_breakdown_table(name: str, report, slo_ms: float) -> str:
@@ -200,8 +263,12 @@ def _tenant_breakdown_table(name: str, report, slo_ms: float) -> str:
 
     rows = []
     for tenant, sub in report.per_tenant().items():
-        slos = {r.request.slo_ms for r in sub.responses}
-        tenant_slo = slos.pop() if len(slos) == 1 and None not in slos else slo_ms
+        # Works for both the materialized report and the O(1) summary:
+        # the single per-request SLO tag if the tenant has one, else the
+        # stream-level SLO.
+        tenant_slo = sub.uniform_slo_ms()
+        if tenant_slo is None:
+            tenant_slo = slo_ms
         rows.append(
             [
                 tenant,
@@ -280,11 +347,16 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     if args.replicas < 1:
         raise ServingError("--replicas must be >= 1")
     autoscaler = _parse_autoscale(args.autoscale) if args.autoscale else None
-    arrivals, desc = _build_stream(args, t)
+    make_arrivals, desc = _build_stream(args, t)
+    # Summary mode streams lazily, which requires (and all built-in
+    # sources guarantee) time-ordered input with monotone ids.
+    presorted = args.mode == "summary"
     batched = args.batcher != "none"
+    n_requests = 0
     rows = []
     breakdowns = []
     for name in names:
+        arrivals = make_arrivals()
         if args.replicas > 1 or autoscaler is not None:
             server = Fleet(name, replicas=args.replicas, policy=args.policy)
             report = server.serve_stream(
@@ -294,6 +366,8 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 batcher=args.batcher,
                 max_batch=args.max_batch,
                 autoscaler=autoscaler,
+                mode=args.mode,
+                presorted=presorted,
             )
         else:
             report = ServingEngine(name).serve_stream(
@@ -302,13 +376,13 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 scheduler=args.scheduler,
                 batcher=args.batcher,
                 max_batch=args.max_batch,
+                mode=args.mode,
+                presorted=presorted,
             )
-        mean_service_ms = (
-            sum(r.service_s for r in report.responses) * 1e3 / report.n_requests
-        )
+        n_requests = report.n_requests
         row = [
             name,
-            mean_service_ms,
+            report.mean_service_ms,
             report.p50_ms,
             report.p99_ms,
             report.mean_queue_delay_ms,
@@ -327,13 +401,15 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
             breakdowns.append(_scale_events_table(name, report))
     title = (
         f"Streaming {desc} "
-        f"({len(arrivals)} requests, {args.replicas} replica(s), {args.policy}, "
+        f"({n_requests} requests, {args.replicas} replica(s), {args.policy}, "
         f"{args.scheduler}"
     )
     if batched:
         title += f", {args.batcher} batching <= {args.max_batch}"
     if autoscaler is not None:
         title += f", autoscale {args.autoscale}"
+    if args.mode == "summary":
+        title += ", summary mode"
     title += ")"
     headers = ["platform", "service ms", "P50 ms", "P99 ms", "queue ms",
                "max req/s", "SLO attained", f"P99<={args.slo_ms}ms"]
@@ -433,7 +509,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-ms", type=float, default=5.0, help="latency SLO for the stream"
     )
     serve.add_argument(
-        "--requests", type=int, default=1000, help="number of stream requests"
+        "--requests",
+        type=_request_count,
+        default=1000,
+        help="number of stream requests (scientific notation welcome: 1e6)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("full", "summary"),
+        default="full",
+        help="stream accounting: 'full' materializes every response "
+        "(bit-identical to the classic report); 'summary' streams "
+        "arrivals lazily through O(1)-memory online statistics — the "
+        "mode for million-request runs (see docs/CLI.md)",
     )
     serve.add_argument("--seed", type=int, default=0, help="stream arrival seed")
     serve.add_argument(

@@ -23,11 +23,21 @@ way real accelerator deployments are:
   once, steady-state per item).
 * :mod:`repro.serving.autoscaler` — queue-depth/SLO-driven elastic
   replica scaling for fleet streams, with a :class:`ScaleEvent` log.
-* :mod:`repro.serving.events` — the shared heap-based discrete-event
-  loop behind every stream simulation.
+* :mod:`repro.serving.events` — the shared discrete-event loop behind
+  every stream simulation: arrivals consumed incrementally (lazy
+  generators and traces never materialize), no-heap fast paths for the
+  hot single-replica configurations, and a ``presorted`` lazy
+  validator.
+* :mod:`repro.serving.stats` — :class:`StreamSummary`, the
+  O(1)-memory online mirror of :class:`StreamReport` behind
+  ``serve_stream(..., mode="summary")``: exact streaming counters,
+  histogram quantiles, and per-tenant/per-priority/per-length-band
+  rollups for million-request streams.
 * :mod:`repro.serving.engine` — :class:`ServingEngine`, one
   accelerator's compile-once session with ``serve`` / ``serve_batch`` /
-  ``serve_stream`` (queueing + SLO/tenant/priority accounting).
+  ``serve_stream`` (queueing + SLO/tenant/priority accounting) and a
+  per-shape result memo so deterministic cost models run once per
+  distinct shape.
 * :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
   round-robin or least-loaded dispatcher, each with its own scheduler
   and batcher.
@@ -70,7 +80,12 @@ from repro.serving.engine import (
     poisson_arrivals,
     uniform_arrivals,
 )
-from repro.serving.events import StreamOutcome, run_stream
+from repro.serving.events import (
+    StreamDispatcher,
+    StreamOutcome,
+    normalize_arrivals,
+    run_stream,
+)
 from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
 from repro.serving.platform import (
     Platform,
@@ -86,6 +101,7 @@ from repro.serving.platforms import (
     PlasticinePlatform,
 )
 from repro.serving.result import ServingResult
+from repro.serving.stats import StreamSummary
 from repro.serving.scheduler import (
     CoalescingScheduler,
     EDFScheduler,
@@ -104,6 +120,7 @@ from repro.serving.traffic import (
     UniformLength,
     ZipfLength,
     diurnal_arrivals,
+    iter_trace,
     length_band,
     length_sampler,
     lengths_from_trace,
@@ -128,8 +145,11 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "StreamReport",
+    "StreamSummary",
     "CacheStats",
     "run_stream",
+    "normalize_arrivals",
+    "StreamDispatcher",
     "poisson_arrivals",
     "uniform_arrivals",
     "mmpp_arrivals",
@@ -137,6 +157,7 @@ __all__ = [
     "mix",
     "record_trace",
     "replay_trace",
+    "iter_trace",
     "LengthSampler",
     "FixedLength",
     "UniformLength",

@@ -32,16 +32,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from repro.errors import ServingError
 from repro.serving.autoscaler import ScaleEvent
 from repro.serving.batching import Batcher, make_batcher
-from repro.serving.events import run_stream
+from repro.serving.events import run_stream, single_replica_dispatch
 from repro.serving.platform import Platform, PreparedModel, get_platform
 from repro.serving.request import ServeRequest, ServeResponse
 from repro.serving.result import ServingResult
 from repro.serving.scheduler import Scheduler, make_scheduler
+# ``percentile`` is shared with the O(1) summary so both
+# representations interpolate identically.
+from repro.serving.stats import StreamSummary, percentile as _percentile
 from repro.serving.traffic import length_band, poisson_arrivals, uniform_arrivals
 from repro.workloads.deepbench import RNNTask
 
@@ -49,11 +52,18 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "StreamReport",
+    "StreamSummary",
     "CacheStats",
     "ServingEngine",
     "poisson_arrivals",
     "uniform_arrivals",
 ]
+
+#: Default bound on the per-shape result memo (see
+#: :meth:`ServingEngine.result_for`); far above any realistic number of
+#: distinct (task, batch) shapes, it only exists so an adversarial
+#: stream of unique shapes cannot grow the memo without bound.
+DEFAULT_MEMO_CAPACITY = 4096
 
 
 @dataclass
@@ -79,17 +89,6 @@ class CacheStats:
         return self.hits + self.misses
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (numpy's default) on sorted data."""
-    if not sorted_values:
-        raise ServingError("percentile of an empty stream")
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = (q / 100.0) * (len(sorted_values) - 1)
-    lo = math.floor(rank)
-    hi = math.ceil(rank)
-    frac = rank - lo
-    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 
 @dataclass(frozen=True)
@@ -153,6 +152,23 @@ class StreamReport:
     @property
     def mean_queue_delay_ms(self) -> float:
         return sum(r.queue_delay_s for r in self.responses) * 1e3 / self.n_requests
+
+    @property
+    def mean_service_ms(self) -> float:
+        """Average per-request accelerator time (batched requests count
+        their share of the batch latency)."""
+        return sum(r.service_s for r in self.responses) * 1e3 / self.n_requests
+
+    def uniform_slo_ms(self) -> float | None:
+        """The single request-level SLO every request carried, if any.
+
+        ``None`` when requests carry mixed (or no) per-request SLO tags —
+        callers then fall back to the stream-level SLO.
+        """
+        tags = {r.request.slo_ms for r in self.responses}
+        if len(tags) == 1:
+            return tags.pop()
+        return None
 
     # -- batching ---------------------------------------------------------
 
@@ -333,6 +349,17 @@ class ServingEngine:
         cache: Optional externally-owned prepared-model cache, keyed by
             task.  A :class:`~repro.serving.fleet.Fleet` passes one
             shared dict so replicas compile each task only once.
+        memoize: Memoize per-shape serving results (default on).  The
+            four built-in platforms are deterministic, so the cost model
+            needs consulting only once per distinct ``(compile_key,
+            timesteps, batch_size)`` shape; every later request of that
+            shape reuses the identical (frozen) result.  Turn off to
+            force a cost-model walk per request (benchmarking the
+            unmemoized loop).
+        memo: Optional externally-owned result memo, shared the same way
+            ``cache`` is (a fleet passes one dict across replicas).
+        memo_capacity: Bound on the memo; least-recently-used shapes are
+            evicted beyond it.
         **platform_options: Forwarded to the platform constructor when
             ``platform`` is a key.
 
@@ -352,6 +379,9 @@ class ServingEngine:
         platform: str | Platform,
         *,
         cache: dict[RNNTask, PreparedModel] | None = None,
+        memoize: bool = True,
+        memo: dict | None = None,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
         **platform_options: object,
     ) -> None:
         if isinstance(platform, Platform):
@@ -362,8 +392,31 @@ class ServingEngine:
             self.platform = platform
         else:
             self.platform = get_platform(platform, **platform_options)
+        if memo_capacity < 1:
+            raise ServingError("memo_capacity must be >= 1")
         self._cache: dict[RNNTask, PreparedModel] = cache if cache is not None else {}
+        self.memoize = bool(memoize)
+        #: Result memo: task -> batch-1 ServingResult, (task, B) -> the
+        #: batched result.  Insertion order doubles as the LRU order.
+        self._memo: dict = memo if memo is not None else {}
+        self._memo_capacity = memo_capacity
         self.cache_stats = CacheStats()
+
+    def _memo_get(self, key):
+        """LRU lookup: a hit is refreshed to most-recently-used."""
+        memo = self._memo
+        result = memo.get(key)
+        if result is not None and next(reversed(memo)) is not key:
+            # Refresh recency (dicts iterate in insertion order).
+            del memo[key]
+            memo[key] = result
+        return result
+
+    def _memo_put(self, key, result) -> None:
+        memo = self._memo
+        if len(memo) >= self._memo_capacity:
+            memo.pop(next(iter(memo)))
+        memo[key] = result
 
     @property
     def platform_name(self) -> str:
@@ -396,6 +449,15 @@ class ServingEngine:
     def result_for(self, task: RNNTask) -> ServingResult:
         """The batch-1 serving result for a task, via the compile cache.
 
+        With ``memoize`` on (the default), the platform cost model is
+        consulted once per distinct shape and the identical frozen
+        :class:`~repro.serving.result.ServingResult` is returned for
+        every later request of that shape — service times are
+        deterministic per (platform, task), so this cannot change any
+        stream timeline, only the time spent recomputing it.  A memo hit
+        counts as a cache hit in :attr:`cache_stats`, exactly as the
+        prepared-model hit it replaces did.
+
         Example::
 
             >>> from repro.serving import ServingEngine
@@ -406,11 +468,22 @@ class ServingEngine:
             >>> long = engine.result_for(t.with_timesteps(500))  # cache hit
             >>> (short.latency_s < long.latency_s, engine.cache_stats.misses)
             (True, 1)
+            >>> engine.result_for(t.with_timesteps(5)) is short  # memoized
+            True
         """
+        if self.memoize:
+            result = self._memo_get(task)
+            if result is not None:
+                self.cache_stats.hits += 1
+                return result
+            result = self.platform.serve_request(self.prepare(task), task)
+            self._memo_put(task, result)
+            return result
         return self.platform.serve_request(self.prepare(task), task)
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._memo.clear()
         self.cache_stats = CacheStats()
 
     def _as_request(self, request: ServeRequest | RNNTask) -> ServeRequest:
@@ -461,10 +534,29 @@ class ServingEngine:
             >>> (res.batch_size, res.latency_s < 8 * t1)
             (8, True)
         """
+        if self.memoize:
+            key = (task, batch_size)
+            result = self._memo_get(key)
+            if result is not None:
+                self.cache_stats.hits += 1
+                return result
+            result = self.platform.serve_batched(
+                self.prepare(task), batch_size, task=task
+            )
+            self._memo_put(key, result)
+            return result
         return self.platform.serve_batched(self.prepare(task), batch_size, task=task)
 
     def batch_latency_s(self, task: RNNTask, batch_size: int) -> float:
-        """Latency of a batched execution, from the cached prepared model."""
+        """Latency of a batched execution, from the cached prepared model.
+
+        Memoized through the same per-shape result memo as
+        :meth:`serve_batched` (``batch_latency_s(prepared, B)`` and
+        ``serve_batched(..., B).latency_s`` are the same number by the
+        platform contract).
+        """
+        if self.memoize:
+            return self.serve_batched(task, batch_size).latency_s
         return self.platform.batch_latency_s(
             self.prepare(task), batch_size, task=task
         )
@@ -477,7 +569,9 @@ class ServingEngine:
         scheduler: str | Scheduler | Callable[[], Scheduler] = "fifo",
         batcher: str | Batcher | Callable[[], Batcher] = "none",
         max_batch: int | None = None,
-    ) -> StreamReport:
+        mode: str = "full",
+        presorted: bool = False,
+    ) -> "StreamReport | StreamSummary":
         """Run a timestamped stream through a single-server queue.
 
         The ``scheduler`` picks the queue discipline (``"fifo"``
@@ -490,21 +584,58 @@ class ServingEngine:
         :mod:`repro.serving.batching`).  ``max_batch`` forwards to the
         named batching policy's cap.
 
+        ``mode`` picks the report representation.  The default
+        ``"full"`` materializes every response into a
+        :class:`StreamReport` — bit-identical to the historical
+        behaviour, with memory linear in the stream.  ``"summary"``
+        folds responses into a
+        :class:`~repro.serving.stats.StreamSummary` as they complete:
+        identical counts/sums (n, SLO attainment, batch sizes, padding
+        waste), estimated percentiles, and memory *independent of the
+        stream length* — the mode for million-request streams.
+
         Arrivals may be given in any order — they are sorted internally,
-        so pre-sorting the input buys nothing and is deprecated as a
-        contract; merged multi-stream inputs must carry globally unique
-        request ids (use :func:`repro.serving.traffic.mix`).
+        so pre-sorting the input buys nothing *unless* you say so:
+        ``presorted=True`` promises the stream is already time-ordered
+        with strictly increasing request ids (true of every built-in
+        generator, of :func:`repro.serving.traffic.mix`, and of recorded
+        traces), letting the loop consume a lazy generator without ever
+        materializing it.  Merged multi-stream inputs must carry
+        globally unique request ids either way (use ``mix``).
         """
         sched = make_scheduler(scheduler)
         options = {} if max_batch is None else {"max_batch": max_batch}
         batch_policy = make_batcher(batcher, **options)
+        if mode not in ("full", "summary"):
+            raise ServingError(
+                f"unknown stream mode {mode!r}; expected 'full' or 'summary'"
+            )
+        if mode == "summary":
+            summary = StreamSummary(
+                self.platform_name,
+                slo_ms=slo_ms,
+                scheduler=sched.name,
+                batcher=batch_policy.name,
+            )
+            run_stream(
+                arrivals,
+                engines=(self,),
+                schedulers=(sched,),
+                dispatch=single_replica_dispatch,
+                slo_ms=slo_ms,
+                batchers=(batch_policy,),
+                presorted=presorted,
+                summary=summary,
+            )
+            return summary.finalize()
         outcome = run_stream(
             arrivals,
             engines=(self,),
             schedulers=(sched,),
-            dispatch=lambda seq, req, work_until: 0,
+            dispatch=single_replica_dispatch,
             slo_ms=slo_ms,
             batchers=(batch_policy,),
+            presorted=presorted,
         )
         return StreamReport(
             platform=self.platform_name,

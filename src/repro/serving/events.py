@@ -1,8 +1,8 @@
-"""The heap-based discrete-event loop shared by engine and fleet streams.
+"""The discrete-event loop shared by engine and fleet streams.
 
 One simulation drives both :meth:`ServingEngine.serve_stream` (a single
 replica) and :meth:`Fleet.serve_stream` (N replicas behind a
-dispatcher).  Three event kinds flow through a single heap:
+dispatcher).  Three event kinds flow through the simulation:
 
 * ``FREE`` — a replica finishes an execution and consults its batcher
   for the next one.
@@ -17,44 +17,113 @@ dispatcher).  Three event kinds flow through a single heap:
   equal timestamps so a request arriving exactly at the deadline still
   joins the batch.
 
-The loop is O(n log n) in the number of requests: each request costs a
-constant number of heap and scheduler operations.  With the FIFO
-scheduler and the ``"none"`` batcher the timeline it produces is
+The loop is O(n log n) in the number of requests and — this is the
+million-request point — **O(1) in memory** along three axes:
+
+* arrivals are consumed *incrementally*: only FREE/LAUNCH events live in
+  the heap, and the next arrival is peeked from the (possibly lazy)
+  input stream, so a generator or JSONL trace never materializes;
+* with ``presorted=True``, :func:`normalize_arrivals` skips the
+  materialize+sort+duplicate-set pass entirely and instead validates
+  lazily that arrivals are time-ordered with strictly increasing
+  ``request_id`` (what :func:`repro.serving.traffic.mix` and every
+  built-in generator emit);
+* with a :class:`~repro.serving.stats.StreamSummary` sink, responses
+  are folded into O(1) online accumulators instead of being collected.
+
+Two specialized loops peel off the hot common cases before the general
+heap: a single replica with a non-holding batcher needs no event heap at
+all (completions and arrivals merge in order), and the FIFO/unbatched
+configuration — the paper's serving scenario — additionally needs no
+scheduler queue, reducing each request to a handful of float ops.  Every
+path evaluates ``start = max(arrival, replica_free_at)`` with the same
+floats in the same order, so the FIFO + ``"none"`` timeline stays
 bit-for-bit identical to the pre-refactor sequential simulations (pinned
-by the golden parity tests): ``start = max(arrival, replica_free_at)``
-is evaluated with the same floats in the same order, and no ``LAUNCH``
-events are ever created.
+by the golden parity tests).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ServingError
 from repro.serving.autoscaler import Autoscaler, ScaleEvent
 from repro.serving.batching import Batcher, NoneBatcher
 from repro.serving.request import ServeRequest, ServeResponse
-from repro.serving.scheduler import QueuedRequest, Scheduler
+from repro.serving.scheduler import FIFOScheduler, QueuedRequest, Scheduler
 from repro.workloads.deepbench import RNNTask
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serving.engine import ServingEngine
+    from repro.serving.stats import StreamSummary
 
-__all__ = ["normalize_arrivals", "run_stream", "StreamOutcome"]
+__all__ = [
+    "normalize_arrivals",
+    "run_stream",
+    "StreamOutcome",
+    "StreamDispatcher",
+    "single_replica_dispatch",
+]
 
 #: Event kinds; FREE sorts before ARRIVAL at equal timestamps so an
 #: arrival always sees the replica's settled state, and LAUNCH sorts
 #: after ARRIVAL so a same-instant arrival can join the launching batch.
 _FREE, _ARRIVAL, _LAUNCH = 0, 1, 2
 
-#: Dispatcher: (seq, request, projected per-replica completion times of
-#: the *active* replicas) -> replica index.
+_INF = float("inf")
+
+#: Legacy dispatcher: (seq, request, projected per-replica completion
+#: times of the *active* replicas) -> replica index.
 Dispatcher = Callable[[int, ServeRequest, Sequence[float]], int]
 
 #: Factory appending one replica: () -> (engine, scheduler, batcher).
 ReplicaFactory = Callable[[], "tuple[ServingEngine, Scheduler, Batcher]"]
+
+
+class StreamDispatcher:
+    """Incremental dispatcher protocol for fleet-scale streams.
+
+    The legacy dispatcher contract hands every arrival a *snapshot* of
+    all active replicas' projected completion times — an O(replicas)
+    copy per request that turns least-loaded dispatch quadratic on big
+    fleets.  A :class:`StreamDispatcher` instead receives *deltas*: the
+    loop calls :meth:`assign` whenever one replica's projection changes
+    and :meth:`resize` whenever the autoscaler changes the active set,
+    so a policy can maintain its own O(log n) structure (see
+    ``Fleet``'s least-loaded heap).  Plain callables keep working
+    unchanged.
+
+    Example::
+
+        >>> from repro.serving.events import StreamDispatcher
+        >>> class First(StreamDispatcher):
+        ...     def choose(self, seq, request): return 0
+        >>> First().choose(0, None)
+        0
+    """
+
+    def choose(self, seq: int, request: ServeRequest) -> int:
+        """Pick the replica for one arrival."""
+        raise NotImplementedError  # pragma: no cover
+
+    def assign(self, replica: int, work_until_s: float) -> None:
+        """One replica's projected completion time advanced."""
+
+    def resize(self, active: int, work_until: Sequence[float]) -> None:
+        """The active replica set changed (autoscaler or stream start)."""
+
+
+def single_replica_dispatch(
+    seq: int, request: ServeRequest, work_until: Sequence[float]
+) -> int:
+    """The engine's trivial one-replica dispatcher (always replica 0).
+
+    Passing this exact function lets :func:`run_stream` skip per-arrival
+    dispatch bookkeeping entirely on the single-replica fast paths.
+    """
+    return 0
 
 
 @dataclass(frozen=True)
@@ -62,8 +131,11 @@ class StreamOutcome:
     """Everything one stream simulation produced.
 
     Attributes:
-        responses: One response per request, in arrival order.
-        assignments: Replica index per request, in arrival order.
+        responses: One response per request, in arrival order — empty
+            when the stream ran against a summary sink (``mode="summary"``),
+            which folds responses online instead of collecting them.
+        assignments: Replica index per request, in arrival order (empty
+            in summary mode; the summary tracks per-replica counts).
         scale_events: Autoscaler actions applied during the run.
         n_replicas: Total replicas that existed by the end (grown
             replicas included) — the peak capacity the run used.
@@ -93,9 +165,44 @@ class StreamOutcome:
     active_replicas: int = 1
 
 
+def _presorted_stream(
+    arrivals: Iterable[ServeRequest | RNNTask],
+) -> Iterator[ServeRequest]:
+    """Lazily validate a pre-sorted stream: non-decreasing arrival times
+    and strictly increasing request ids (which rules out duplicates with
+    O(1) state — no id set is ever built)."""
+    prev_arrival = -_INF
+    prev_id: int | None = None
+    position = 0
+    for item in arrivals:
+        if isinstance(item, RNNTask):
+            item = ServeRequest(task=item, request_id=position)
+        arrival = item.arrival_s
+        if arrival < prev_arrival:
+            raise ServingError(
+                f"presorted stream is out of order: request "
+                f"{item.request_id} arrives at {arrival} after "
+                f"{prev_arrival}; pass presorted=False to sort"
+            )
+        rid = item.request_id
+        if prev_id is not None and rid <= prev_id:
+            raise ServingError(
+                f"presorted stream needs strictly increasing request ids "
+                f"(saw {rid} after {prev_id}); merge streams with "
+                f"repro.serving.traffic.mix() — it renumbers globally — "
+                f"or pass presorted=False"
+            )
+        prev_arrival = arrival
+        prev_id = rid
+        position += 1
+        yield item
+
+
 def normalize_arrivals(
     arrivals: Iterable[ServeRequest | RNNTask],
-) -> list[ServeRequest]:
+    *,
+    presorted: bool = False,
+) -> "list[ServeRequest] | Iterator[ServeRequest]":
     """Sort a stream into arrival order and validate request ids.
 
     Bare :class:`RNNTask` items are wrapped as arrival-time-zero requests
@@ -104,6 +211,15 @@ def normalize_arrivals(
     almost always collides on ids (every generator numbers from 0), which
     silently breaks FIFO tie-breaking and per-request accounting — use
     :func:`repro.serving.traffic.mix`, which re-numbers globally.
+
+    With ``presorted=True`` the materialize+sort+duplicate-set pass is
+    skipped: a *lazy* validator is returned instead, which checks — in
+    O(1) memory, while the event loop consumes it — that arrivals are
+    time-ordered with strictly increasing ids (every built-in generator,
+    :func:`~repro.serving.traffic.mix`, and recorded traces satisfy
+    this; monotone ids double as the duplicate check).  This is what
+    lets ``serve_stream`` run a multi-million-request generator without
+    holding it.
 
     Example::
 
@@ -115,7 +231,13 @@ def normalize_arrivals(
         ...         ServeRequest(task=t, arrival_s=0.1, request_id=0)]
         >>> [r.request_id for r in normalize_arrivals(reqs)]
         [0, 1]
+        >>> lazy = normalize_arrivals(sorted(reqs, key=lambda r: r.arrival_s),
+        ...                           presorted=True)
+        >>> [r.request_id for r in lazy]       # validated as it streams
+        [0, 1]
     """
+    if presorted:
+        return _presorted_stream(arrivals)
     requests: list[ServeRequest] = []
     for position, item in enumerate(arrivals):
         if isinstance(item, RNNTask):
@@ -144,21 +266,26 @@ def run_stream(
     *,
     engines: Sequence["ServingEngine"],
     schedulers: Sequence[Scheduler],
-    dispatch: Dispatcher,
+    dispatch: "Dispatcher | StreamDispatcher",
     slo_ms: float | None = None,
     batchers: Sequence[Batcher] | None = None,
     autoscaler: Autoscaler | None = None,
     replica_factory: ReplicaFactory | None = None,
+    presorted: bool = False,
+    summary: "StreamSummary | None" = None,
 ) -> StreamOutcome:
     """Simulate a timestamped stream over one or more replicas.
 
     Args:
-        arrivals: The request stream (any order; sorted internally).
+        arrivals: The request stream — any iterable, including a lazy
+            generator or trace reader (sorted internally unless
+            ``presorted=True``).
         engines: One :class:`ServingEngine` per starting replica.
         schedulers: One scheduler per replica (same length as engines).
-        dispatch: Assigns each arrival to a replica, given the projected
-            completion time of all work already assigned to each *active*
-            replica (the classic join-the-shortest-queue signal).
+        dispatch: Assigns each arrival to a replica — either a legacy
+            callable receiving the projected completion times of all
+            *active* replicas (the classic join-the-shortest-queue
+            signal), or an incremental :class:`StreamDispatcher`.
         slo_ms: Stream-level SLO; per-request ``slo_ms`` overrides it
             when computing deadlines for deadline-aware schedulers and
             SLO-aware batching.
@@ -168,6 +295,13 @@ def run_stream(
             the stream runs; evaluated on every arrival and completion.
         replica_factory: Grows the fleet on scale-up; required when
             ``autoscaler`` may target more replicas than ``engines``.
+        presorted: Trust (and lazily validate) that ``arrivals`` is
+            already time-ordered with strictly increasing ids, skipping
+            the materialize+sort pass — see :func:`normalize_arrivals`.
+        summary: Optional :class:`~repro.serving.stats.StreamSummary`
+            sink.  When given, completed requests are folded into its
+            O(1) accumulators instead of being collected, and the
+            returned outcome carries empty ``responses``/``assignments``.
 
     Returns:
         A :class:`StreamOutcome`; its responses and assignments are
@@ -197,11 +331,308 @@ def run_stream(
     )
     if not (len(engine_list) == len(scheduler_list) == len(batcher_list)):
         raise ServingError("need exactly one scheduler and batcher per replica")
-    ordered = normalize_arrivals(arrivals)
-    n = len(ordered)
 
-    responses: list[ServeResponse | None] = [None] * n
-    assignments: list[int] = [-1] * n
+    def bind_cost(replica: int) -> None:
+        engine = engine_list[replica]
+        batcher_list[replica].bind_cost(
+            lambda task, size, _e=engine: _e.batch_latency_s(task, size)
+        )
+
+    for replica in range(len(engine_list)):
+        bind_cost(replica)
+
+    stream = normalize_arrivals(arrivals, presorted=presorted)
+
+    # A single replica whose batcher never holds (the base
+    # ``hold_until`` is un-overridden) needs no event heap: completions
+    # and arrivals merge in time order directly.  This covers the
+    # paper's serving scenario and both benchmark configurations.
+    if (
+        len(engine_list) == 1
+        and autoscaler is None
+        and type(batcher_list[0]).hold_until is Batcher.hold_until
+    ):
+        scheduler = scheduler_list[0]
+        batcher = batcher_list[0]
+        if type(scheduler) is FIFOScheduler and type(batcher) is NoneBatcher:
+            return _run_fifo_unbatched(
+                stream, engine_list[0], dispatch, summary
+            )
+        return _run_single_replica(
+            stream, engine_list[0], scheduler, batcher, dispatch, slo_ms, summary
+        )
+
+    return _run_heap(
+        stream,
+        engine_list,
+        scheduler_list,
+        batcher_list,
+        bind_cost,
+        dispatch,
+        slo_ms,
+        autoscaler,
+        replica_factory,
+        summary,
+    )
+
+
+def _choose_single(
+    dispatch: "Dispatcher | StreamDispatcher",
+    seq: int,
+    req: ServeRequest,
+    work: list[float],
+) -> None:
+    """Run a custom dispatcher against the one-replica view (parity with
+    the general loop's contract, including its error)."""
+    if isinstance(dispatch, StreamDispatcher):
+        replica = dispatch.choose(seq, req)
+    else:
+        replica = dispatch(seq, req, work)
+    if replica != 0:
+        raise ServingError(f"dispatcher chose invalid replica {replica}")
+
+
+def _run_fifo_unbatched(
+    stream: Iterable[ServeRequest],
+    engine: "ServingEngine",
+    dispatch: "Dispatcher | StreamDispatcher",
+    summary: "StreamSummary | None",
+) -> StreamOutcome:
+    """The hottest path: one replica, FIFO order, batch 1.
+
+    Service order equals arrival order, so the whole simulation is the
+    classic single-server recursion ``start = max(arrival, free_at)`` —
+    no heap, no scheduler queue, no per-request :class:`QueuedRequest`.
+    Identical floats in identical order to the general loop (golden
+    parity holds bit for bit); with a summary sink it allocates nothing
+    per request beyond the incoming request objects.
+    """
+    trivial = dispatch is single_replica_dispatch
+    collect = summary is None
+    responses: list[ServeResponse] = []
+    append = responses.append
+    observe = None if collect else summary.observe_served
+    result_for = engine.result_for
+    work = [0.0]
+    if isinstance(dispatch, StreamDispatcher):
+        dispatch.resize(1, work)
+    free_at = 0.0
+    n = 0
+    last_task: RNNTask | None = None
+    last_result = None
+    for req in stream:
+        task = req.task
+        if task is not last_task:
+            last_result = result_for(task)
+            last_task = task
+        result = last_result
+        latency = result.latency_s
+        arrival = req.arrival_s
+        if not trivial:
+            # Same contract order as the general loop: the dispatcher
+            # sees the pre-assignment projection.
+            _choose_single(dispatch, n, req, work)
+            work[0] = (arrival if arrival > work[0] else work[0]) + latency
+        start = arrival if arrival > free_at else free_at
+        finish = start + latency
+        free_at = finish
+        if collect:
+            append(
+                ServeResponse(
+                    request=req,
+                    result=result,
+                    queue_delay_s=start - arrival,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            )
+        else:
+            observe(req, result, start, finish, 1)
+        n += 1
+    if n == 0:
+        raise ServingError("serve_stream needs at least one request")
+    if not collect:
+        summary.note_assignment(0, n)
+    return StreamOutcome(
+        responses=responses,
+        assignments=[0] * n if collect else [],
+    )
+
+
+def _run_single_replica(
+    stream: Iterable[ServeRequest],
+    engine: "ServingEngine",
+    scheduler: Scheduler,
+    batcher: Batcher,
+    dispatch: "Dispatcher | StreamDispatcher",
+    slo_ms: float | None,
+    summary: "StreamSummary | None",
+) -> StreamOutcome:
+    """One replica, any scheduler, any non-holding batcher: merge
+    completions and arrivals in time order without an event heap.
+
+    Invariant: whenever the replica is idle its ready queue is empty
+    (an arrival launches immediately when idle), so only completions
+    that precede the next arrival need replaying before it queues.
+    """
+    trivial = dispatch is single_replica_dispatch
+    collect = summary is None
+    responses: list[ServeResponse | None] = []
+    observe = None if collect else summary.observe_served
+    result_for = engine.result_for
+    none_batcher = type(batcher) is NoneBatcher
+    push = scheduler.push
+    pop = scheduler.pop
+    qlen = scheduler.__len__
+    work = [0.0]
+    if isinstance(dispatch, StreamDispatcher):
+        dispatch.resize(1, work)
+    free_at = 0.0
+    busy = False
+    seq = 0
+    last_task: RNNTask | None = None
+    last_result = None
+    stream_slo = slo_ms
+
+    def launch(now: float) -> None:
+        nonlocal free_at, busy
+        if none_batcher:
+            entries = [pop()]
+        else:
+            entries = batcher.take(scheduler, now)
+            if not entries:
+                raise ServingError(
+                    f"batcher {batcher.name!r} returned an empty batch"
+                )
+        head = entries[0]
+        arrival = head.request.arrival_s
+        start = arrival if arrival > now else now
+        if len(entries) == 1:
+            # The exact pre-batching arithmetic: parity for batcher="none".
+            finish = start + head.service_s
+            if collect:
+                responses[head.seq] = ServeResponse(
+                    request=head.request,
+                    result=head.result,
+                    queue_delay_s=start - arrival,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            else:
+                observe(head.request, head.result, start, finish, 1)
+        else:
+            exec_task = _batch_exec_task(entries, batcher)
+            result = engine.serve_batched(exec_task, len(entries))
+            finish = start + result.latency_s
+            size = len(entries)
+            for index, entry in enumerate(entries):
+                if collect:
+                    responses[entry.seq] = ServeResponse(
+                        request=entry.request,
+                        result=result,
+                        queue_delay_s=start - entry.request.arrival_s,
+                        start_s=start,
+                        finish_s=finish,
+                        batch_size=size,
+                        batch_index=index,
+                    )
+                else:
+                    observe(entry.request, result, start, finish, size)
+        busy = True
+        free_at = finish
+
+    for req in stream:
+        t = req.arrival_s
+        # Completions that fire no later than this arrival (FREE sorts
+        # before ARRIVAL at equal stamps) launch first.
+        while busy and free_at <= t:
+            busy = False
+            if qlen():
+                launch(free_at)
+        task = req.task
+        if task is not last_task:
+            last_result = result_for(task)
+            last_task = task
+        result = last_result
+        if not trivial:
+            _choose_single(dispatch, seq, req, work)
+            work[0] = (t if t > work[0] else work[0]) + result.latency_s
+        slo = req.slo_ms
+        if slo is None:
+            slo = stream_slo
+        push(
+            QueuedRequest(
+                seq=seq,
+                request=req,
+                result=result,
+                service_s=result.latency_s,
+                deadline_s=_INF if slo is None else t + slo / 1e3,
+            )
+        )
+        if collect:
+            responses.append(None)
+        seq += 1
+        if not busy:
+            launch(t)
+    if seq == 0:
+        raise ServingError("serve_stream needs at least one request")
+    # Drain: replay the remaining FREE chain.
+    while busy:
+        busy = False
+        if qlen():
+            launch(free_at)
+    if not collect:
+        summary.note_assignment(0, seq)
+    return StreamOutcome(
+        responses=responses,  # type: ignore[arg-type]
+        assignments=[0] * seq if collect else [],
+    )
+
+
+def _batch_exec_task(entries: "list[QueuedRequest]", batcher: Batcher) -> RNNTask:
+    """The task a coalesced batch executes at: the head's task padded to
+    the longest member (the pad/bucket policies).  Same-length batches
+    reduce to the head's task exactly.  Mixing task *families* is a
+    batcher bug."""
+    head = entries[0]
+    exec_task = head.request.task
+    for e in entries[1:]:
+        t = e.request.task
+        if t == exec_task:
+            continue
+        if t.family_key != exec_task.family_key:
+            raise ServingError(
+                f"batcher {batcher.name!r} coalesced requests from "
+                f"different task families into one batch"
+            )
+        exec_task = exec_task.padded_to(t.timesteps)
+    return exec_task
+
+
+def _run_heap(
+    stream: Iterable[ServeRequest],
+    engine_list: "list[ServingEngine]",
+    scheduler_list: "list[Scheduler]",
+    batcher_list: "list[Batcher]",
+    bind_cost: Callable[[int], None],
+    dispatch: "Dispatcher | StreamDispatcher",
+    slo_ms: float | None,
+    autoscaler: Autoscaler | None,
+    replica_factory: ReplicaFactory | None,
+    summary: "StreamSummary | None",
+) -> StreamOutcome:
+    """The general loop: N replicas, holds, autoscaling.
+
+    Only FREE and LAUNCH events live in the heap; arrivals are peeked
+    one at a time from the (possibly lazy) sorted stream, so the heap
+    size is bounded by the replica count, not the stream length.
+    """
+    collect = summary is None
+    rich = isinstance(dispatch, StreamDispatcher)
+    responses: list[ServeResponse | None] = []
+    assignments: list[int] = []
+    observe = None if collect else summary.observe_served
+    assign_note = None if collect else summary.note_assignment
     #: Projected completion of all work assigned to each replica; the
     #: dispatch signal (identical to the pre-refactor ``free_at``).  The
     #: projection assumes unbatched service, so with batching it is an
@@ -213,24 +644,12 @@ def run_stream(
     hold_at: list[float | None] = [None] * len(engine_list)
     active = len(engine_list)
     scale_events: list[ScaleEvent] = []
-
-    def bind_cost(replica: int) -> None:
-        engine = engine_list[replica]
-        batcher_list[replica].bind_cost(
-            lambda task, size, _e=engine: _e.platform.batch_latency_s(
-                _e.prepare(task), size, task=task
-            )
-        )
-
-    for replica in range(len(engine_list)):
-        bind_cost(replica)
     if autoscaler is not None:
         autoscaler.reset()
+    if rich:
+        dispatch.resize(active, work_until)
 
-    events: list[tuple[float, int, int]] = [
-        (req.arrival_s, _ARRIVAL, seq) for seq, req in enumerate(ordered)
-    ]
-    heapq.heapify(events)
+    events: list[tuple[float, int, int]] = []
 
     def add_replica() -> None:
         if replica_factory is None:
@@ -269,6 +688,8 @@ def run_stream(
                 reason=decision.reason,
             )
         )
+        if rich:
+            dispatch.resize(active, work_until)
 
     def launch(replica: int, now: float) -> None:
         queue = scheduler_list[replica]
@@ -291,59 +712,76 @@ def run_stream(
         if len(entries) == 1:
             # The exact pre-batching arithmetic: parity for batcher="none".
             finish = start + head.service_s
-            responses[head.seq] = ServeResponse(
-                request=head.request,
-                result=head.result,
-                queue_delay_s=start - head.request.arrival_s,
-                start_s=start,
-                finish_s=finish,
-            )
+            if collect:
+                responses[head.seq] = ServeResponse(
+                    request=head.request,
+                    result=head.result,
+                    queue_delay_s=start - head.request.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            else:
+                observe(head.request, head.result, start, finish, 1)
         else:
-            # The batch executes at the longest member's length: every
-            # shorter request is padded up to it (the pad/bucket
-            # policies).  Same-length batches reduce to the head's task
-            # exactly.  Mixing task *families* is a batcher bug.
-            exec_task = head.request.task
-            for e in entries[1:]:
-                t = e.request.task
-                if t == exec_task:
-                    continue
-                if t.family_key != exec_task.family_key:
-                    raise ServingError(
-                        f"batcher {batcher.name!r} coalesced requests from "
-                        f"different task families into one batch"
-                    )
-                exec_task = exec_task.padded_to(t.timesteps)
+            exec_task = _batch_exec_task(entries, batcher)
             engine = engine_list[replica]
             result = engine.serve_batched(exec_task, len(entries))
             finish = start + result.latency_s
+            size = len(entries)
             for index, entry in enumerate(entries):
-                responses[entry.seq] = ServeResponse(
-                    request=entry.request,
-                    result=result,
-                    queue_delay_s=start - entry.request.arrival_s,
-                    start_s=start,
-                    finish_s=finish,
-                    batch_size=len(entries),
-                    batch_index=index,
-                )
+                if collect:
+                    responses[entry.seq] = ServeResponse(
+                        request=entry.request,
+                        result=result,
+                        queue_delay_s=start - entry.request.arrival_s,
+                        start_s=start,
+                        finish_s=finish,
+                        batch_size=size,
+                        batch_index=index,
+                    )
+                else:
+                    observe(entry.request, result, start, finish, size)
         busy[replica] = True
         heapq.heappush(events, (finish, _FREE, replica))
 
-    while events:
-        now, kind, index = heapq.heappop(events)
-        if kind == _ARRIVAL:
-            req = ordered[index]
+    arrival_iter = iter(stream)
+    next_req = next(arrival_iter, None)
+    seq = 0
+    while events or next_req is not None:
+        # Does the next arrival precede every heap event?  FREE sorts
+        # before ARRIVAL at equal stamps, LAUNCH after — the same total
+        # order the materialized heap produced.
+        if next_req is not None:
+            if events:
+                top = events[0]
+                arrival_s = next_req.arrival_s
+                take_arrival = arrival_s < top[0] or (
+                    arrival_s == top[0] and top[1] == _LAUNCH
+                )
+            else:
+                take_arrival = True
+        else:
+            take_arrival = False
+        if take_arrival:
+            req = next_req
+            now = req.arrival_s
             if autoscaler is not None:
                 autoscale(now)
-            view = work_until if active == len(work_until) else work_until[:active]
-            replica = dispatch(index, req, view)
+            if rich:
+                replica = dispatch.choose(seq, req)
+            else:
+                view = (
+                    work_until
+                    if active == len(work_until)
+                    else work_until[:active]
+                )
+                replica = dispatch(seq, req, view)
             if not 0 <= replica < active:
                 raise ServingError(f"dispatcher chose invalid replica {replica}")
             engine = engine_list[replica]
             result = engine.result_for(req.task)
             entry = QueuedRequest(
-                seq=index,
+                seq=seq,
                 request=req,
                 result=result,
                 service_s=result.latency_s,
@@ -352,11 +790,21 @@ def run_stream(
             work_until[replica] = (
                 max(req.arrival_s, work_until[replica]) + result.latency_s
             )
-            assignments[index] = replica
+            if rich:
+                dispatch.assign(replica, work_until[replica])
+            if collect:
+                responses.append(None)
+                assignments.append(replica)
+            else:
+                assign_note(replica)
             scheduler_list[replica].push(entry)
             if not busy[replica]:
                 launch(replica, now)
-        elif kind == _FREE:
+            seq += 1
+            next_req = next(arrival_iter, None)
+            continue
+        now, kind, index = heapq.heappop(events)
+        if kind == _FREE:
             busy[index] = False
             if autoscaler is not None:
                 autoscale(now)
@@ -370,6 +818,8 @@ def run_stream(
             else:
                 hold_at[index] = None
 
+    if seq == 0:
+        raise ServingError("serve_stream needs at least one request")
     return StreamOutcome(
         responses=responses,  # type: ignore[arg-type]
         assignments=assignments,

@@ -27,21 +27,82 @@ pressure and logs its actions on the report.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServingError
 from repro.serving.autoscaler import Autoscaler
 from repro.serving.batching import Batcher, make_batcher
 from repro.serving.engine import ServeRequest, ServeResponse, ServingEngine, StreamReport
-from repro.serving.events import run_stream
+from repro.serving.events import StreamDispatcher, run_stream
 from repro.serving.platform import Platform, PreparedModel
 from repro.serving.scheduler import Scheduler, make_scheduler
+from repro.serving.stats import StreamSummary
 from repro.workloads.deepbench import RNNTask
 
 __all__ = ["Fleet", "FleetReport", "SCHEDULING_POLICIES"]
 
 SCHEDULING_POLICIES = ("round-robin", "least-loaded")
+
+
+class _RoundRobinDispatcher(StreamDispatcher):
+    """Request *i* to active replica ``i % N`` — oblivious and O(1)."""
+
+    def __init__(self) -> None:
+        self._active = 0
+
+    def resize(self, active: int, work_until: Sequence[float]) -> None:
+        self._active = active
+
+    def choose(self, seq: int, request: ServeRequest) -> int:
+        return seq % self._active
+
+
+class _LeastLoadedDispatcher(StreamDispatcher):
+    """Join-the-shortest-queue in O(log replicas) per arrival.
+
+    The naive policy re-scans every active replica's projected
+    completion time on each arrival — an O(replicas) pass that turns
+    large-fleet streams quadratic.  This version keeps a lazy-deletion
+    heap of ``(projected_completion, replica)``: :meth:`assign` pushes a
+    fresh entry whenever the event loop advances one replica's
+    projection (projections only ever grow, so older entries for the
+    same replica are strictly smaller and recognized as stale), and
+    :meth:`choose` pops stale or deactivated entries until the top is
+    live.  The ``(value, index)`` heap order reproduces the naive scan's
+    tie-break (earliest completion, lowest index) exactly.
+    """
+
+    def __init__(self) -> None:
+        self._active = 0
+        self._values: list[float] = []
+        self._heap: list[tuple[float, int]] = []
+
+    def resize(self, active: int, work_until: Sequence[float]) -> None:
+        values = self._values
+        for j in range(len(values), len(work_until)):
+            values.append(work_until[j])
+        if active > self._active:
+            # Newly (re)activated replicas re-enter the heap at their
+            # current projection; deactivated ones are pruned lazily.
+            for j in range(self._active, active):
+                heapq.heappush(self._heap, (values[j], j))
+        self._active = active
+
+    def assign(self, replica: int, work_until_s: float) -> None:
+        self._values[replica] = work_until_s
+        heapq.heappush(self._heap, (work_until_s, replica))
+
+    def choose(self, seq: int, request: ServeRequest) -> int:
+        heap = self._heap
+        values = self._values
+        active = self._active
+        while True:
+            value, j = heap[0]
+            if j < active and values[j] == value:
+                return j
+            heapq.heappop(heap)
 
 
 @dataclass(frozen=True)
@@ -131,16 +192,19 @@ class Fleet:
         self.policy = policy
         self._platform_spec = platform
         self._platform_options = platform_options
-        # One engine per replica over a shared compile cache: the fleet
-        # prepares each distinct task once, not once per replica — even
-        # for replicas the autoscaler adds mid-stream.
+        # One engine per replica over a shared compile cache and a
+        # shared result memo: the fleet prepares (and costs) each
+        # distinct shape once, not once per replica — even for replicas
+        # the autoscaler adds mid-stream.
         self._shared_cache: dict[RNNTask, PreparedModel] = {}
+        self._shared_memo: dict = {}
         self.engines = tuple(self._new_engine() for _ in range(replicas))
 
     def _new_engine(self) -> ServingEngine:
         return ServingEngine(
             self._platform_spec,
             cache=self._shared_cache,
+            memo=self._shared_memo,
             **self._platform_options,
         )
 
@@ -152,15 +216,13 @@ class Fleet:
     def platform_name(self) -> str:
         return self.engines[0].platform_name
 
-    def _dispatcher(self) -> Callable:
+    def _dispatcher(self) -> StreamDispatcher:
+        # A fresh (stateful) incremental dispatcher per stream run; the
+        # event loop feeds it per-replica projection deltas instead of
+        # handing every arrival an O(replicas) snapshot.
         if self.policy == "round-robin":
-            # len(work_until) is the *active* replica count, which the
-            # autoscaler may change between arrivals.
-            return lambda seq, req, work_until: seq % len(work_until)
-        # least-loaded: earliest projected completion wins, low index ties
-        return lambda seq, req, work_until: min(
-            range(len(work_until)), key=lambda j: (work_until[j], j)
-        )
+            return _RoundRobinDispatcher()
+        return _LeastLoadedDispatcher()
 
     def serve_stream(
         self,
@@ -171,7 +233,9 @@ class Fleet:
         batcher: str | Callable[[], Batcher] = "none",
         max_batch: int | None = None,
         autoscaler: Autoscaler | None = None,
-    ) -> FleetReport:
+        mode: str = "full",
+        presorted: bool = False,
+    ) -> "FleetReport | StreamSummary":
         """Dispatch a timestamped stream across the replicas.
 
         The dispatcher assigns every request to a replica on arrival (no
@@ -185,6 +249,15 @@ class Fleet:
         fleet's compile cache, and the applied
         :class:`~repro.serving.autoscaler.ScaleEvent` log lands on the
         report.
+
+        ``mode`` and ``presorted`` behave exactly as on
+        :meth:`ServingEngine.serve_stream
+        <repro.serving.engine.ServingEngine.serve_stream>`:
+        ``mode="summary"`` folds responses into a
+        :class:`~repro.serving.stats.StreamSummary` (O(1) memory, with
+        online per-replica counts instead of per-request assignments)
+        and ``presorted=True`` streams a lazy time-ordered input without
+        materializing it.
         """
         if isinstance(scheduler, Scheduler):
             raise ServingError(
@@ -216,6 +289,18 @@ class Fleet:
         def replica_factory() -> tuple[ServingEngine, Scheduler, Batcher]:
             return self._new_engine(), new_scheduler(), new_batcher()
 
+        if mode not in ("full", "summary"):
+            raise ServingError(
+                f"unknown stream mode {mode!r}; expected 'full' or 'summary'"
+            )
+        summary = None
+        if mode == "summary":
+            summary = StreamSummary(
+                self.platform_name,
+                slo_ms=slo_ms,
+                scheduler=schedulers[0].name,
+                batcher=batchers[0].name,
+            )
         outcome = run_stream(
             arrivals,
             engines=engines,
@@ -225,7 +310,16 @@ class Fleet:
             slo_ms=slo_ms,
             autoscaler=autoscaler,
             replica_factory=replica_factory,
+            presorted=presorted,
+            summary=summary,
         )
+        if summary is not None:
+            return summary.finalize(
+                scale_events=outcome.scale_events,
+                replicas=outcome.n_replicas,
+                active_replicas=outcome.active_replicas,
+                policy=self.policy,
+            )
         return FleetReport(
             platform=self.platform_name,
             responses=tuple(outcome.responses),

@@ -22,7 +22,7 @@ from repro.workloads.deepbench import RNNTask
 __all__ = ["ServeRequest", "ServeResponse"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeRequest:
     """One serving request: a task plus its arrival time and traffic tags.
 
@@ -77,7 +77,7 @@ class ServeRequest:
         return self.arrival_s + slo / 1e3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServeResponse:
     """The engine's answer: the result plus the request's timeline.
 

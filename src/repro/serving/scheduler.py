@@ -57,9 +57,13 @@ __all__ = [
 ]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class QueuedRequest:
     """A dispatched request waiting in one replica's ready queue.
+
+    ``__slots__`` (via ``slots=True``): one of these is allocated per
+    request on the event loop's hot path, and slots cut both the
+    per-instance footprint and the attribute-access cost.
 
     Attributes:
         seq: Arrival-order index across the whole stream; every

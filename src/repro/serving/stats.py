@@ -1,0 +1,610 @@
+"""O(1)-memory online statistics for million-request streams.
+
+:class:`~repro.serving.engine.StreamReport` materializes every
+:class:`~repro.serving.request.ServeResponse` and sorts full sojourn
+lists, so its memory grows linearly with the stream — fine for the
+~10k-request runs the paper's tables need, infeasible for the
+datacenter-scale traces the ROADMAP targets.  This module is the O(1)
+alternative: :class:`StreamSummary` mirrors the ``StreamReport`` API
+(percentiles, SLO attainment, padding waste, per-tenant /
+per-priority / per-length-band slices) from a fixed-size set of online
+accumulators, so ``serve_stream(..., mode="summary")`` can consume a
+10M-request stream without ever holding it.
+
+Design:
+
+* **One accumulator per request class.**  Requests are grouped by
+  ``(task, tenant, priority, slo_ms)``; each class keeps exact integer
+  counters (count, SLO misses, batch sizes, executed/useful FLOPs),
+  exact running float sums (sojourn, queueing delay, service time), and
+  exact min/max.  Every report-level figure that is a sum or a count —
+  ``n_requests``, ``slo_attainment``, ``mean_batch_size``,
+  ``padding_waste_frac`` — therefore matches the materialized report
+  *exactly*; float means agree to reordering (summation order differs).
+  The root summary and every slice are rollups over class accumulators,
+  so one update per request feeds all breakdowns at once.
+* **Fixed-bucket log histogram for quantiles** (the mergeable
+  alternative to the P² estimator, whose markers cannot be combined
+  across slices).  Sojourns land in geometric buckets of ratio
+  ``10^(1/128)`` (~1.8% wide), so a quantile read is within ~1% of the
+  exact order statistic; each class additionally keeps its first
+  :data:`EXACT_SAMPLE_CAP` sojourns verbatim, so small streams — and
+  small slices of huge streams — report *exact* numpy-style
+  interpolated percentiles.
+
+Example::
+
+    >>> from repro.serving import ServingEngine, uniform_arrivals
+    >>> from repro.workloads.deepbench import task
+    >>> summary = ServingEngine("gpu").serve_stream(
+    ...     uniform_arrivals(task("lstm", 512, 25),
+    ...                      rate_per_s=100, n_requests=50),
+    ...     slo_ms=5.0, mode="summary")
+    >>> (summary.n_requests, summary.scheduler, summary.batcher)
+    (50, 'fifo', 'none')
+    >>> summary.p50_ms <= summary.p99_ms
+    True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ServingError
+from repro.serving.request import ServeRequest
+from repro.serving.result import ServingResult
+from repro.serving.traffic import length_band
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.autoscaler import ScaleEvent
+    from repro.workloads.deepbench import RNNTask
+
+__all__ = ["StreamSummary", "percentile", "EXACT_SAMPLE_CAP"]
+
+#: Per-class exact reservoir: a class (and any slice made only of such
+#: classes) with at most this many requests reports exact percentiles.
+EXACT_SAMPLE_CAP = 64
+
+#: Histogram geometry: log10-spaced buckets covering sojourns from
+#: 1e-4 ms to 1e7 ms at 128 buckets per decade (~1.8% bucket ratio).
+_HIST_LO_EXP = -4.0
+_HIST_PER_DECADE = 128
+_HIST_BUCKETS = 11 * _HIST_PER_DECADE
+_HIST_RATIO = 10.0 ** (1.0 / _HIST_PER_DECADE)
+
+
+def _bucket_index(value_ms: float) -> int:
+    """Histogram bucket for a positive sojourn (clamped at both ends)."""
+    idx = int((math.log10(value_ms) - _HIST_LO_EXP) * _HIST_PER_DECADE)
+    if idx < 0:
+        return 0
+    if idx >= _HIST_BUCKETS:
+        return _HIST_BUCKETS - 1
+    return idx
+
+
+def percentile(sorted_values: "list[float] | tuple[float, ...]", q: float) -> float:
+    """Linear-interpolation percentile (numpy's default) on sorted data.
+
+    Example::
+
+        >>> from repro.serving.stats import percentile
+        >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+        2.5
+    """
+    if not sorted_values:
+        raise ServingError("percentile of an empty stream")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    frac = rank - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+class _ClassAcc:
+    """Online accumulator for one request class.
+
+    A class is the finest slice the summary can report:
+    ``(task, tenant, priority, request-level slo)``.  Everything the
+    summary (or any of its tenant/priority/length-band rollups) exposes
+    is derived by merging these.
+    """
+
+    __slots__ = (
+        "tenant",
+        "priority",
+        "slo_key",
+        "eff_slo_ms",
+        "timesteps",
+        "useful_flops",
+        "n",
+        "sojourn_sum_ms",
+        "queue_sum_s",
+        "service_sum_s",
+        "batch_sum",
+        "batch_max",
+        "miss",
+        "exec_flops",
+        "max_arrival_s",
+        "max_finish_s",
+        "min_sojourn_ms",
+        "max_sojourn_ms",
+        "samples",
+        "counts",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        priority: int,
+        slo_key: float | None,
+        eff_slo_ms: float | None,
+        timesteps: int,
+        useful_flops: int,
+    ) -> None:
+        self.tenant = tenant
+        self.priority = priority
+        #: The request-level ``slo_ms`` tag (before the stream fallback).
+        self.slo_key = slo_key
+        #: The SLO requests of this class are judged against (request
+        #: tag, falling back to the stream SLO), ``None`` when neither
+        #: is configured.
+        self.eff_slo_ms = eff_slo_ms
+        self.timesteps = timesteps
+        self.useful_flops = useful_flops
+        self.n = 0
+        self.sojourn_sum_ms = 0.0
+        self.queue_sum_s = 0.0
+        self.service_sum_s = 0.0
+        self.batch_sum = 0
+        self.batch_max = 0
+        self.miss = 0
+        self.exec_flops = 0
+        self.max_arrival_s = 0.0
+        self.max_finish_s = 0.0
+        self.min_sojourn_ms = math.inf
+        self.max_sojourn_ms = 0.0
+        #: Exact sojourns until the class outgrows the reservoir, then
+        #: ``None`` (spilled into ``counts``).
+        self.samples: list[float] | None = []
+        self.counts: list[int] | None = None
+
+    def add_sojourn(self, sojourn_ms: float) -> None:
+        samples = self.samples
+        if samples is not None:
+            samples.append(sojourn_ms)
+            if len(samples) > EXACT_SAMPLE_CAP:
+                counts = [0] * _HIST_BUCKETS
+                for value in samples:
+                    counts[_bucket_index(value)] += 1
+                self.counts = counts
+                self.samples = None
+        else:
+            self.counts[_bucket_index(sojourn_ms)] += 1  # type: ignore[index]
+
+
+class StreamSummary:
+    """O(1)-memory mirror of :class:`~repro.serving.engine.StreamReport`.
+
+    Produced by ``serve_stream(..., mode="summary")``: the event loop
+    feeds every completed request through :meth:`observe_served` and
+    drops it, so memory is bounded by the number of distinct request
+    *classes* (task x tenant x priority x SLO tag), not by the stream
+    length.  Counts and sums (``n_requests``, ``slo_attainment``,
+    ``mean_batch_size``, ``padding_waste_frac``, per-slice request
+    counts) match the materialized report exactly; ``p50_ms`` /
+    ``p99_ms`` are histogram estimates within ~1% (exact while a slice
+    holds at most :data:`EXACT_SAMPLE_CAP` requests).
+
+    ``per_tenant()`` / ``per_priority()`` / ``per_length_band()`` return
+    sub-summaries over the same accumulators — slicing allocates no
+    per-request state either.
+
+    Example::
+
+        >>> from repro.serving import ServingEngine, poisson_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> summary = ServingEngine("gpu").serve_stream(
+        ...     poisson_arrivals(task("lstm", 512, 25), rate_per_s=500,
+        ...                      n_requests=200, seed=1, tenant="tts"),
+        ...     slo_ms=5.0, mode="summary")
+        >>> summary.tenants
+        ('tts',)
+        >>> summary.per_tenant()["tts"].n_requests
+        200
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        *,
+        slo_ms: float | None = None,
+        scheduler: str = "fifo",
+        batcher: str = "none",
+        band_base: float = 2.0,
+        _classes: "dict[tuple, _ClassAcc] | None" = None,
+    ) -> None:
+        if band_base <= 1.0:
+            raise ServingError("band_base must be > 1")
+        self.platform = platform
+        self.slo_ms = slo_ms
+        self.scheduler = scheduler
+        self.batcher = batcher
+        self.band_base = band_base
+        self.scale_events: "tuple[ScaleEvent, ...]" = ()
+        self.policy: str | None = None
+        self.replicas = 1
+        self.active_replicas = 1
+        self._classes: dict[tuple, _ClassAcc] = (
+            {} if _classes is None else _classes
+        )
+        self._replica_counts: list[int] = []
+        #: Cache of executed-task FLOPs (task -> flops); the ``flops``
+        #: property walks the task shape, far too slow per request.
+        self._flops: dict["RNNTask", int] = {}
+        # Identity fast path: streams overwhelmingly repeat the same
+        # (task, tenant, priority, slo) class back to back.
+        self._last_task: "RNNTask | None" = None
+        self._last_req_key: tuple | None = None
+        self._last_acc: _ClassAcc | None = None
+
+    # -- ingestion --------------------------------------------------------
+
+    def _flops_of(self, task: "RNNTask") -> int:
+        flops = self._flops.get(task)
+        if flops is None:
+            flops = task.flops
+            self._flops[task] = flops
+        return flops
+
+    def _class_for(self, request: ServeRequest) -> _ClassAcc:
+        task = request.task
+        key = (task, request.tenant, request.priority, request.slo_ms)
+        acc = self._classes.get(key)
+        if acc is None:
+            slo = request.slo_ms
+            eff = slo if slo is not None else self.slo_ms
+            acc = _ClassAcc(
+                tenant=request.tenant,
+                priority=request.priority,
+                slo_key=slo,
+                eff_slo_ms=eff,
+                timesteps=task.timesteps,
+                useful_flops=self._flops_of(task),
+            )
+            self._classes[key] = acc
+        self._last_task = task
+        self._last_req_key = (request.tenant, request.priority, request.slo_ms)
+        self._last_acc = acc
+        return acc
+
+    def observe_served(
+        self,
+        request: ServeRequest,
+        result: ServingResult,
+        start_s: float,
+        finish_s: float,
+        batch_size: int,
+    ) -> None:
+        """Fold one completed request into the summary.
+
+        Called by the event loop (in any completion order) with the same
+        fields a :class:`~repro.serving.request.ServeResponse` would
+        carry; ``result`` is the executed (possibly padded, possibly
+        batched) platform result.
+        """
+        task = request.task
+        acc = self._last_acc
+        if (
+            acc is None
+            or task is not self._last_task
+            or (request.tenant, request.priority, request.slo_ms)
+            != self._last_req_key
+        ):
+            acc = self._class_for(request)
+        arrival = request.arrival_s
+        sojourn_ms = (finish_s - arrival) * 1e3
+        acc.n += 1
+        acc.sojourn_sum_ms += sojourn_ms
+        acc.queue_sum_s += start_s - arrival
+        acc.service_sum_s += result.latency_s / batch_size
+        acc.batch_sum += batch_size
+        if batch_size > acc.batch_max:
+            acc.batch_max = batch_size
+        exec_task = result.task
+        acc.exec_flops += (
+            acc.useful_flops if exec_task is task else self._flops_of(exec_task)
+        )
+        eff = acc.eff_slo_ms
+        if eff is not None and sojourn_ms > eff:
+            acc.miss += 1
+        if arrival > acc.max_arrival_s:
+            acc.max_arrival_s = arrival
+        if finish_s > acc.max_finish_s:
+            acc.max_finish_s = finish_s
+        if sojourn_ms < acc.min_sojourn_ms:
+            acc.min_sojourn_ms = sojourn_ms
+        if sojourn_ms > acc.max_sojourn_ms:
+            acc.max_sojourn_ms = sojourn_ms
+        acc.add_sojourn(sojourn_ms)
+
+    def observe_response(self, response) -> None:
+        """Fold a materialized :class:`ServeResponse` into the summary.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine
+            >>> from repro.serving.stats import StreamSummary
+            >>> from repro.workloads.deepbench import task
+            >>> resp = ServingEngine("gpu").serve(task("lstm", 512, 25))
+            >>> summary = StreamSummary("gpu", slo_ms=5.0)
+            >>> summary.observe_response(resp)
+            >>> summary.n_requests
+            1
+        """
+        self.observe_served(
+            response.request,
+            response.result,
+            response.start_s,
+            response.finish_s,
+            response.batch_size,
+        )
+
+    def note_assignment(self, replica: int, count: int = 1) -> None:
+        """Count ``count`` requests dispatched to ``replica``.
+
+        The general event loop calls this per arrival; the
+        single-replica fast paths call it once at the end with the
+        stream total.
+        """
+        counts = self._replica_counts
+        if replica >= len(counts):
+            counts.extend([0] * (replica + 1 - len(counts)))
+        counts[replica] += count
+
+    def finalize(
+        self,
+        *,
+        scale_events: "tuple[ScaleEvent, ...]" = (),
+        replicas: int = 1,
+        active_replicas: int = 1,
+        policy: str | None = None,
+    ) -> "StreamSummary":
+        """Attach end-of-stream metadata; raises on an empty stream."""
+        if not self._classes:
+            raise ServingError("stream produced no responses")
+        self.scale_events = scale_events
+        self.replicas = replicas
+        self.active_replicas = active_replicas
+        self.policy = policy
+        return self
+
+    # -- folded counters --------------------------------------------------
+
+    def _accs(self) -> "list[_ClassAcc]":
+        return list(self._classes.values())
+
+    @property
+    def n_requests(self) -> int:
+        return sum(acc.n for acc in self._accs())
+
+    @property
+    def n_replicas(self) -> int:
+        return self.replicas
+
+    @property
+    def per_replica_counts(self) -> tuple[int, ...]:
+        counts = list(self._replica_counts)
+        counts.extend([0] * (self.replicas - len(counts)))
+        return tuple(counts)
+
+    @property
+    def mean_ms(self) -> float:
+        accs = self._accs()
+        n = sum(acc.n for acc in accs)
+        if n == 0:
+            raise ServingError("stream produced no responses")
+        return sum(acc.sojourn_sum_ms for acc in accs) / n
+
+    @property
+    def mean_queue_delay_ms(self) -> float:
+        accs = self._accs()
+        return sum(acc.queue_sum_s for acc in accs) * 1e3 / sum(
+            acc.n for acc in accs
+        )
+
+    @property
+    def mean_service_ms(self) -> float:
+        accs = self._accs()
+        return sum(acc.service_sum_s for acc in accs) * 1e3 / sum(
+            acc.n for acc in accs
+        )
+
+    @property
+    def mean_batch_size(self) -> float:
+        accs = self._accs()
+        return sum(acc.batch_sum for acc in accs) / sum(acc.n for acc in accs)
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(acc.batch_max for acc in self._accs())
+
+    @property
+    def throughput_rps(self) -> float:
+        makespan = max(acc.max_finish_s for acc in self._accs())
+        if makespan <= 0:
+            return math.inf
+        return self.n_requests / makespan
+
+    @property
+    def padding_waste_frac(self) -> float:
+        accs = self._accs()
+        executed = sum(acc.exec_flops for acc in accs)
+        useful = sum(acc.n * acc.useful_flops for acc in accs)
+        if executed <= 0:
+            return 0.0
+        return (executed - useful) / executed
+
+    @property
+    def offered_rate_per_s(self) -> float:
+        span = max(acc.max_arrival_s for acc in self._accs())
+        if span > 0:
+            return self.n_requests / span
+        return 0.0 if self.n_requests == 1 else math.inf
+
+    @property
+    def max_rate_per_s(self) -> float:
+        """Sustainable rate of the serving capacity the stream used:
+        one over the mean service time, times the (peak) replica count —
+        mirroring ``StreamReport`` / ``FleetReport``."""
+        return self.replicas / (self.mean_service_ms / 1e3)
+
+    @property
+    def saturated(self) -> bool:
+        return self.offered_rate_per_s >= self.max_rate_per_s
+
+    @property
+    def slo_miss_rate(self) -> float:
+        accs = self._accs()
+        if any(acc.eff_slo_ms is None for acc in accs):
+            raise ServingError("no SLO configured for this stream")
+        return sum(acc.miss for acc in accs) / sum(acc.n for acc in accs)
+
+    @property
+    def slo_attainment(self) -> float:
+        return 1.0 - self.slo_miss_rate
+
+    @property
+    def slo_attained(self) -> bool:
+        return self.slo_ms is not None and self.p99_ms <= self.slo_ms
+
+    def uniform_slo_ms(self) -> float | None:
+        """The single request-level SLO every request carried, if any."""
+        tags = {acc.slo_key for acc in self._accs()}
+        if len(tags) == 1:
+            return tags.pop()
+        return None
+
+    # -- quantiles --------------------------------------------------------
+
+    def percentile_ms(self, q: float) -> float:
+        """Sojourn percentile: exact while every class is inside its
+        reservoir, histogram-estimated (~1%) beyond."""
+        accs = self._accs()
+        if not accs:
+            raise ServingError("percentile of an empty stream")
+        if all(acc.samples is not None for acc in accs):
+            values: list[float] = []
+            for acc in accs:
+                values.extend(acc.samples)  # type: ignore[arg-type]
+            values.sort()
+            return percentile(values, q)
+        counts = [0] * _HIST_BUCKETS
+        for acc in accs:
+            if acc.counts is not None:
+                bucket_counts = acc.counts
+                for idx in range(_HIST_BUCKETS):
+                    c = bucket_counts[idx]
+                    if c:
+                        counts[idx] += c
+            else:
+                for value in acc.samples:  # type: ignore[union-attr]
+                    counts[_bucket_index(value)] += 1
+        total = sum(counts)
+        rank = (q / 100.0) * (total - 1)
+        cum = 0
+        estimate = self.max_sojourn_ms
+        for idx, c in enumerate(counts):
+            if not c:
+                continue
+            if cum + c > rank:
+                frac = (rank - cum + 0.5) / c
+                lo_edge = 10.0 ** (_HIST_LO_EXP + idx / _HIST_PER_DECADE)
+                estimate = lo_edge * _HIST_RATIO**frac
+                break
+            cum += c
+        lo, hi = self.min_sojourn_ms, self.max_sojourn_ms
+        return min(max(estimate, lo), hi)
+
+    @property
+    def min_sojourn_ms(self) -> float:
+        return min(acc.min_sojourn_ms for acc in self._accs())
+
+    @property
+    def max_sojourn_ms(self) -> float:
+        return max(acc.max_sojourn_ms for acc in self._accs())
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    # -- slices -----------------------------------------------------------
+
+    def _subset(self, accs: Iterable[tuple]) -> "StreamSummary":
+        sub = StreamSummary(
+            self.platform,
+            slo_ms=self.slo_ms,
+            scheduler=self.scheduler,
+            batcher=self.batcher,
+            band_base=self.band_base,
+            _classes={key: self._classes[key] for key in accs},
+        )
+        sub.scale_events = ()
+        return sub
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted({acc.tenant for acc in self._accs()}))
+
+    @property
+    def priorities(self) -> tuple[int, ...]:
+        return tuple(sorted({acc.priority for acc in self._accs()}))
+
+    def per_tenant(self) -> "dict[str, StreamSummary]":
+        """Sub-summaries keyed by tenant (same online accumulators)."""
+        groups: dict[str, list[tuple]] = {}
+        for key, acc in self._classes.items():
+            groups.setdefault(acc.tenant, []).append(key)
+        return {t: self._subset(groups[t]) for t in sorted(groups)}
+
+    def per_priority(self) -> "dict[int, StreamSummary]":
+        """Sub-summaries keyed by priority class."""
+        groups: dict[int, list[tuple]] = {}
+        for key, acc in self._classes.items():
+            groups.setdefault(acc.priority, []).append(key)
+        return {p: self._subset(groups[p]) for p in sorted(groups)}
+
+    def per_length_band(self, band_base: float = 2.0) -> "dict[str, StreamSummary]":
+        """Sub-summaries keyed by geometric sequence-length band.
+
+        The band base is fixed when the summary starts accumulating
+        (``band_base`` at construction); asking for a different base
+        afterwards raises — an online summary cannot re-bucket history.
+        """
+        if band_base != self.band_base:
+            raise ServingError(
+                f"summary accumulated length bands at base {self.band_base}; "
+                f"re-run the stream with band_base={band_base} to re-bucket"
+            )
+        groups: dict[tuple[int, int], list[tuple]] = {}
+        for key, acc in self._classes.items():
+            band = length_band(acc.timesteps, band_base)
+            groups.setdefault(band, []).append(key)
+        return {
+            f"T{lo}-{hi}": self._subset(groups[(lo, hi)])
+            for lo, hi in sorted(groups)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamSummary(platform={self.platform!r}, "
+            f"n_requests={self.n_requests}, scheduler={self.scheduler!r}, "
+            f"batcher={self.batcher!r})"
+        )

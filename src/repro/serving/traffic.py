@@ -34,13 +34,14 @@ perturbs the arrival times.
 
 from __future__ import annotations
 
+import heapq
 import json
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from functools import cached_property
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.errors import ServingError
 from repro.serving.request import ServeRequest
@@ -62,7 +63,12 @@ __all__ = [
     "mix",
     "record_trace",
     "replay_trace",
+    "iter_trace",
 ]
+
+#: Chunk size for vectorized lazy RNG draws: big enough to amortize the
+#: numpy call, small enough that a lazy stream's working set stays tiny.
+_CHUNK = 8192
 
 
 def _check_stream_args(rate_per_s: float, n_requests: int) -> None:
@@ -186,8 +192,19 @@ class ZipfLength(LengthSampler):
         weights = ranks**-self.alpha
         return weights / weights.sum()
 
+    @cached_property
+    def _cdf(self):
+        # ``Generator.choice(n, p=probs)`` recomputes this cumsum on
+        # every call — the hot cost of sampling a million lengths.
+        # Caching it and replaying choice's own algorithm (one uniform
+        # draw + a right-bisect on the normalized cdf) produces the
+        # *identical* draw sequence an order of magnitude faster.
+        cdf = self._probs.cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
     def sample(self, rng) -> int:
-        return self.lo + int(rng.choice(len(self._probs), p=self._probs))
+        return self.lo + int(self._cdf.searchsorted(rng.random(), side="right"))
 
 
 @dataclass(frozen=True)
@@ -305,17 +322,69 @@ def lengths_from_trace(path: str | Path) -> EmpiricalLength:
     )
 
 
-def _length_variants(
-    task: RNNTask, n: int, lengths: LengthSampler | None, seed: int
-) -> list[RNNTask]:
-    """The per-request task list: ``task`` itself everywhere, or length
-    variants drawn from ``lengths`` on an independent seeded stream."""
+def _request_stream(
+    times: Iterator[float],
+    task: RNNTask,
+    start_s: float,
+    tenant: str,
+    priority: int,
+    slo_ms: float | None,
+    lengths: LengthSampler | None,
+    seed: int,
+) -> Iterator[ServeRequest]:
+    """Wrap a lazy arrival-time stream into tagged requests.
+
+    Length sampling draws from its own seeded RNG stream
+    (``(seed, _LENGTH_STREAM)``), so attaching a distribution never
+    perturbs the arrival times — and the interleaved lazy draws are
+    value-identical to the historical draw-all-upfront order.
+    """
     if lengths is None:
-        return [task] * n
+        for i, t in enumerate(times):
+            yield ServeRequest(
+                task=task,
+                arrival_s=start_s + t,
+                request_id=i,
+                tenant=tenant,
+                priority=priority,
+                slo_ms=slo_ms,
+            )
+        return
     import numpy as np
 
     rng = np.random.default_rng((seed, _LENGTH_STREAM))
-    return [task.with_timesteps(lengths.sample(rng)) for _ in range(n)]
+    sample = lengths.sample
+    for i, t in enumerate(times):
+        yield ServeRequest(
+            task=task.with_timesteps(sample(rng)),
+            arrival_s=start_s + t,
+            request_id=i,
+            tenant=tenant,
+            priority=priority,
+            slo_ms=slo_ms,
+        )
+
+
+def _poisson_times(rate_per_s: float, n_requests: int, seed: int) -> Iterator[float]:
+    """Exponential inter-arrival times, drawn lazily in chunks.
+
+    Chunked ``Generator.exponential`` draws are bit-identical to one
+    ``size=n`` draw, and the Python running sum is the same sequential
+    IEEE-754 addition ``np.cumsum`` performs — so the lazy stream equals
+    the historical materialized one float for float.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / rate_per_s
+    t = 0.0
+    remaining = n_requests
+    while remaining:
+        draw = rng.exponential(scale, size=min(_CHUNK, remaining))
+        remaining -= len(draw)
+        for gap in draw.tolist():
+            t += gap
+            yield t
 
 
 def poisson_arrivals(
@@ -329,13 +398,19 @@ def poisson_arrivals(
     priority: int = 0,
     slo_ms: float | None = None,
     lengths: LengthSampler | None = None,
-) -> tuple[ServeRequest, ...]:
+    materialize: bool = True,
+) -> "tuple[ServeRequest, ...] | Iterator[ServeRequest]":
     """A Poisson request stream for one task (exponential inter-arrivals).
 
     The same seed at two different rates yields time-scaled copies of the
     same stream, which keeps rate sweeps comparable.  ``lengths`` draws a
     per-request ``timesteps`` override from its own seeded stream, so
     arrival times are identical with or without it.
+
+    ``materialize=False`` returns a lazy generator producing the *same
+    requests* one at a time (RNG draws are chunked internally), so a
+    multi-million-request stream can feed ``serve_stream(...,
+    presorted=True)`` in O(1) memory.
 
     Example::
 
@@ -347,25 +422,23 @@ def poisson_arrivals(
         (5, 'default', 0)
         >>> all(a.arrival_s < b.arrival_s for a, b in zip(reqs, reqs[1:]))
         True
+        >>> lazy = poisson_arrivals(task("lstm", 512, 25), rate_per_s=100,
+        ...                         n_requests=5, seed=0, materialize=False)
+        >>> tuple(lazy) == reqs
+        True
     """
     _check_stream_args(rate_per_s, n_requests)
-    import numpy as np
-
-    rng = np.random.default_rng(seed)
-    inter = rng.exponential(1.0 / rate_per_s, size=n_requests)
-    arrivals = np.cumsum(inter)
-    tasks = _length_variants(task, n_requests, lengths, seed)
-    return tuple(
-        ServeRequest(
-            task=tasks[i],
-            arrival_s=start_s + float(t),
-            request_id=i,
-            tenant=tenant,
-            priority=priority,
-            slo_ms=slo_ms,
-        )
-        for i, t in enumerate(arrivals)
+    stream = _request_stream(
+        _poisson_times(rate_per_s, n_requests, seed),
+        task, start_s, tenant, priority, slo_ms, lengths, seed,
     )
+    return tuple(stream) if materialize else stream
+
+
+def _uniform_times(rate_per_s: float, n_requests: int) -> Iterator[float]:
+    period = 1.0 / rate_per_s
+    for i in range(n_requests):
+        yield (i + 1) * period
 
 
 def uniform_arrivals(
@@ -379,11 +452,13 @@ def uniform_arrivals(
     slo_ms: float | None = None,
     seed: int = 0,
     lengths: LengthSampler | None = None,
-) -> tuple[ServeRequest, ...]:
+    materialize: bool = True,
+) -> "tuple[ServeRequest, ...] | Iterator[ServeRequest]":
     """A deterministic evenly-spaced request stream for one task.
 
     ``seed`` only feeds the optional ``lengths`` sampler — the arrival
-    times themselves are deterministic.
+    times themselves are deterministic.  ``materialize=False`` returns
+    the same stream as a lazy generator.
 
     Example::
 
@@ -395,19 +470,11 @@ def uniform_arrivals(
         [0.1, 0.2, 0.3]
     """
     _check_stream_args(rate_per_s, n_requests)
-    period = 1.0 / rate_per_s
-    tasks = _length_variants(task, n_requests, lengths, seed)
-    return tuple(
-        ServeRequest(
-            task=tasks[i],
-            arrival_s=start_s + (i + 1) * period,
-            request_id=i,
-            tenant=tenant,
-            priority=priority,
-            slo_ms=slo_ms,
-        )
-        for i in range(n_requests)
+    stream = _request_stream(
+        _uniform_times(rate_per_s, n_requests),
+        task, start_s, tenant, priority, slo_ms, lengths, seed,
     )
+    return tuple(stream) if materialize else stream
 
 
 def mmpp_arrivals(
@@ -424,7 +491,8 @@ def mmpp_arrivals(
     priority: int = 0,
     slo_ms: float | None = None,
     lengths: LengthSampler | None = None,
-) -> tuple[ServeRequest, ...]:
+    materialize: bool = True,
+) -> "tuple[ServeRequest, ...] | Iterator[ServeRequest]":
     """A two-state Markov-modulated Poisson process (quiet vs burst).
 
     The process alternates between a quiet state and a burst state; dwell
@@ -451,37 +519,33 @@ def mmpp_arrivals(
         raise ServingError("burst_rate_per_s must be positive")
     if quiet_dwell_s <= 0 or burst_dwell_s <= 0:
         raise ServingError("dwell times must be positive")
-    import numpy as np
 
-    rng = np.random.default_rng(seed)
-    rates = (quiet_rate_per_s, burst_rate_per_s)
-    dwells = (quiet_dwell_s, burst_dwell_s)
-    state = 0
-    t = 0.0
-    state_end = float(rng.exponential(dwells[state]))
-    times: list[float] = []
-    while len(times) < n_requests:
-        gap = float(rng.exponential(1.0 / rates[state]))
-        if t + gap < state_end:
-            t += gap
-            times.append(t)
-        else:
-            # No arrival before the state flips; jump to the boundary.
-            t = state_end
-            state = 1 - state
-            state_end = t + float(rng.exponential(dwells[state]))
-    tasks = _length_variants(task, n_requests, lengths, seed)
-    return tuple(
-        ServeRequest(
-            task=tasks[i],
-            arrival_s=start_s + at,
-            request_id=i,
-            tenant=tenant,
-            priority=priority,
-            slo_ms=slo_ms,
-        )
-        for i, at in enumerate(times)
+    def times() -> Iterator[float]:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        rates = (quiet_rate_per_s, burst_rate_per_s)
+        dwells = (quiet_dwell_s, burst_dwell_s)
+        state = 0
+        t = 0.0
+        state_end = float(rng.exponential(dwells[state]))
+        produced = 0
+        while produced < n_requests:
+            gap = float(rng.exponential(1.0 / rates[state]))
+            if t + gap < state_end:
+                t += gap
+                produced += 1
+                yield t
+            else:
+                # No arrival before the state flips; jump to the boundary.
+                t = state_end
+                state = 1 - state
+                state_end = t + float(rng.exponential(dwells[state]))
+
+    stream = _request_stream(
+        times(), task, start_s, tenant, priority, slo_ms, lengths, seed
     )
+    return tuple(stream) if materialize else stream
 
 
 def diurnal_arrivals(
@@ -497,7 +561,8 @@ def diurnal_arrivals(
     priority: int = 0,
     slo_ms: float | None = None,
     lengths: LengthSampler | None = None,
-) -> tuple[ServeRequest, ...]:
+    materialize: bool = True,
+) -> "tuple[ServeRequest, ...] | Iterator[ServeRequest]":
     """A sinusoidal rate ramp: a compressed day/night traffic cycle.
 
     Generates a non-homogeneous Poisson process via thinning against the
@@ -520,32 +585,47 @@ def diurnal_arrivals(
         raise ServingError("peak_rate_per_s must be >= base_rate_per_s")
     if period_s <= 0:
         raise ServingError("period_s must be positive")
-    import numpy as np
 
-    rng = np.random.default_rng(seed)
-    swing = peak_rate_per_s - base_rate_per_s
-    t = 0.0
-    times: list[float] = []
-    while len(times) < n_requests:
-        t += float(rng.exponential(1.0 / peak_rate_per_s))
-        rate = base_rate_per_s + swing * (1.0 - math.cos(2.0 * math.pi * t / period_s)) / 2.0
-        if float(rng.uniform()) * peak_rate_per_s <= rate:
-            times.append(t)
-    tasks = _length_variants(task, n_requests, lengths, seed)
-    return tuple(
-        ServeRequest(
-            task=tasks[i],
-            arrival_s=start_s + at,
-            request_id=i,
-            tenant=tenant,
-            priority=priority,
-            slo_ms=slo_ms,
-        )
-        for i, at in enumerate(times)
+    def times() -> Iterator[float]:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        swing = peak_rate_per_s - base_rate_per_s
+        t = 0.0
+        produced = 0
+        while produced < n_requests:
+            t += float(rng.exponential(1.0 / peak_rate_per_s))
+            rate = base_rate_per_s + swing * (
+                1.0 - math.cos(2.0 * math.pi * t / period_s)
+            ) / 2.0
+            if float(rng.uniform()) * peak_rate_per_s <= rate:
+                produced += 1
+                yield t
+
+    stream = _request_stream(
+        times(), task, start_s, tenant, priority, slo_ms, lengths, seed
     )
+    return tuple(stream) if materialize else stream
 
 
-def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
+def _lazy_mix(streams: tuple[Iterable[ServeRequest], ...]) -> Iterator[ServeRequest]:
+    """K-way merge of already-sorted streams, renumbered on the fly.
+
+    ``heapq.merge`` breaks arrival-time ties by stream position, and each
+    sorted input stream is already in ``(arrival_s, request_id)`` order,
+    so the merged order matches the eager path's
+    ``(arrival_s, stream_idx, request_id)`` sort key exactly.
+    """
+    merged = heapq.merge(*streams, key=lambda req: req.arrival_s)
+    new_id = 0
+    for req in merged:
+        yield replace(req, request_id=new_id)
+        new_id += 1
+
+
+def mix(
+    *streams: Iterable[ServeRequest], presorted: bool = False
+) -> "tuple[ServeRequest, ...] | Iterator[ServeRequest]":
     """Interleave several streams into one multi-tenant workload.
 
     Requests are merged in arrival order (ties break by stream position,
@@ -553,6 +633,12 @@ def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
     ``request_id``s — the per-stream ids almost always collide, and the
     event loop rejects duplicate ids outright.  Tenant, priority, and
     per-request SLO tags are preserved.
+
+    With ``presorted=True`` the inputs are promised to be individually
+    time-ordered (every built-in generator is — including their
+    ``materialize=False`` lazy forms) and the merge happens lazily with
+    O(#streams) memory, returning a generator suitable for
+    ``serve_stream(..., presorted=True)``.
 
     Example::
 
@@ -569,6 +655,8 @@ def mix(*streams: Iterable[ServeRequest]) -> tuple[ServeRequest, ...]:
     """
     if not streams:
         raise ServingError("mix needs at least one stream")
+    if presorted:
+        return _lazy_mix(streams)
     tagged = [
         (req.arrival_s, stream_idx, req.request_id, req)
         for stream_idx, stream in enumerate(streams)
@@ -609,31 +697,111 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
         True
     """
     path = Path(path)
-    lines = []
-    for req in requests:
-        lines.append(
-            json.dumps(
-                {
-                    "v": _TRACE_VERSION,
-                    "kind": req.task.kind,
-                    "hidden": req.task.hidden,
-                    "timesteps": req.task.timesteps,
-                    "layers": req.task.layers,
-                    "decoder_timesteps": req.task.decoder_timesteps,
-                    "in_table6": req.task.in_table6,
-                    "arrival_s": req.arrival_s,
-                    "request_id": req.request_id,
-                    "tenant": req.tenant,
-                    "priority": req.priority,
-                    "slo_ms": req.slo_ms,
-                },
-                sort_keys=True,
-            )
-        )
-    if not lines:
-        raise ServingError("refusing to record an empty trace")
-    path.write_text("\n".join(lines) + "\n")
+    # Written line by line so recording a lazy multi-million-request
+    # stream never materializes it — but into a sibling temp file that
+    # only replaces ``path`` on success, so an empty stream or a
+    # mid-stream generator failure cannot clobber an existing trace.
+    tmp = path.parent / (path.name + ".partial")
+    try:
+        n = 0
+        with tmp.open("w") as handle:
+            for req in requests:
+                handle.write(
+                    json.dumps(
+                        {
+                            "v": _TRACE_VERSION,
+                            "kind": req.task.kind,
+                            "hidden": req.task.hidden,
+                            "timesteps": req.task.timesteps,
+                            "layers": req.task.layers,
+                            "decoder_timesteps": req.task.decoder_timesteps,
+                            "in_table6": req.task.in_table6,
+                            "arrival_s": req.arrival_s,
+                            "request_id": req.request_id,
+                            "tenant": req.tenant,
+                            "priority": req.priority,
+                            "slo_ms": req.slo_ms,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                n += 1
+        if not n:
+            raise ServingError("refusing to record an empty trace")
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    tmp.replace(path)
     return path
+
+
+def _parse_trace_line(line: str, lineno: int, path: Path) -> ServeRequest:
+    try:
+        rec = json.loads(line)
+        if rec.get("batch", 1) != 1:
+            # v1 recorded the (removed, always-1) RNNTask.batch field.
+            raise ServingError(
+                f"trace line {lineno} in {path} carries batch="
+                f"{rec['batch']}; per-request batch sizes were never "
+                f"supported — batching is a serving policy, not a "
+                f"task attribute"
+            )
+        return ServeRequest(
+            task=RNNTask(
+                rec["kind"],
+                rec["hidden"],
+                rec["timesteps"],
+                layers=rec.get("layers", 1),
+                decoder_timesteps=rec.get("decoder_timesteps", 0),
+                in_table6=rec.get("in_table6", True),
+            ),
+            arrival_s=rec["arrival_s"],
+            request_id=rec["request_id"],
+            tenant=rec.get("tenant", "default"),
+            priority=rec.get("priority", 0),
+            slo_ms=rec.get("slo_ms"),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ServingError(f"bad trace line {lineno} in {path}: {exc}") from exc
+
+
+def _iter_trace(path: Path) -> Iterator[ServeRequest]:
+    n = 0
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            yield _parse_trace_line(line, lineno, path)
+            n += 1
+    if not n:
+        raise ServingError(f"trace {path} holds no requests")
+
+
+def iter_trace(path: str | Path) -> Iterator[ServeRequest]:
+    """Stream a JSONL trace lazily, one request at a time.
+
+    The streaming counterpart of :func:`replay_trace`: the file is read
+    line by line, so replaying a multi-gigabyte trace through
+    ``serve_stream(..., presorted=True, mode="summary")`` never loads it
+    into memory.  Parsing, validation, and error messages are identical
+    to :func:`replay_trace` (which is just ``tuple(iter_trace(path))``).
+
+    Example::
+
+        >>> import os, tempfile
+        >>> from repro.serving import iter_trace, record_trace, uniform_arrivals
+        >>> from repro.workloads.deepbench import task
+        >>> reqs = uniform_arrivals(task("lstm", 512, 25),
+        ...                         rate_per_s=10, n_requests=3)
+        >>> p = record_trace(reqs, os.path.join(tempfile.mkdtemp(), "t.jsonl"))
+        >>> tuple(iter_trace(p)) == reqs
+        True
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ServingError(f"trace file not found: {path}")
+    return _iter_trace(path)
 
 
 def replay_trace(path: str | Path) -> tuple[ServeRequest, ...]:
@@ -649,42 +817,4 @@ def replay_trace(path: str | Path) -> tuple[ServeRequest, ...]:
         ...     print("rejected")
         rejected
     """
-    path = Path(path)
-    if not path.exists():
-        raise ServingError(f"trace file not found: {path}")
-    requests: list[ServeRequest] = []
-    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
-        try:
-            rec = json.loads(line)
-            if rec.get("batch", 1) != 1:
-                # v1 recorded the (removed, always-1) RNNTask.batch field.
-                raise ServingError(
-                    f"trace line {lineno} in {path} carries batch="
-                    f"{rec['batch']}; per-request batch sizes were never "
-                    f"supported — batching is a serving policy, not a "
-                    f"task attribute"
-                )
-            requests.append(
-                ServeRequest(
-                    task=RNNTask(
-                        rec["kind"],
-                        rec["hidden"],
-                        rec["timesteps"],
-                        layers=rec.get("layers", 1),
-                        decoder_timesteps=rec.get("decoder_timesteps", 0),
-                        in_table6=rec.get("in_table6", True),
-                    ),
-                    arrival_s=rec["arrival_s"],
-                    request_id=rec["request_id"],
-                    tenant=rec.get("tenant", "default"),
-                    priority=rec.get("priority", 0),
-                    slo_ms=rec.get("slo_ms"),
-                )
-            )
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise ServingError(f"bad trace line {lineno} in {path}: {exc}") from exc
-    if not requests:
-        raise ServingError(f"trace {path} holds no requests")
-    return tuple(requests)
+    return tuple(iter_trace(path))

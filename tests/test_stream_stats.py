@@ -1,0 +1,656 @@
+"""StreamSummary vs StreamReport parity, memoization, and streaming paths.
+
+The O(1)-memory summary (``serve_stream(..., mode="summary")``) must be
+a drop-in mirror of the materialized report: every counter-derived
+figure **exactly** equal (request counts, SLO attainment, batch sizes,
+padding waste — these are integer/count arithmetic in both
+representations), float means equal to reordering, and quantiles inside
+the histogram estimator's tolerance.  A hand-rolled seeded fuzz suite
+drives both representations over the same streams across schedulers,
+batchers, tenants, priorities, per-request SLOs, and length
+distributions, including the per-tenant/per-priority/per-length-band
+slice rollups and their sum invariants.
+
+Alongside it: the per-shape result memo (LRU, shared across fleet
+replicas), the ``presorted=True`` lazy validation fast path, the
+``materialize=False`` lazy generators (bit-identical to their eager
+forms), streaming trace replay, and the incremental least-loaded
+dispatcher's exact parity with the naive O(replicas) scan.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    Autoscaler,
+    Fleet,
+    ServeRequest,
+    ServingEngine,
+    StreamSummary,
+    UniformLength,
+    ZipfLength,
+    diurnal_arrivals,
+    iter_trace,
+    mix,
+    mmpp_arrivals,
+    normalize_arrivals,
+    poisson_arrivals,
+    record_trace,
+    replay_trace,
+    run_stream,
+    uniform_arrivals,
+)
+from repro.serving.batching import NoneBatcher
+from repro.serving.scheduler import make_scheduler
+from repro.serving.stats import EXACT_SAMPLE_CAP, percentile
+from repro.workloads.deepbench import task
+
+T = task("lstm", 512, 25)
+GRU = task("gru", 512, 25)
+
+#: Histogram bucket ratio is 10^(1/128) ~ 1.8%; allow the full bucket.
+QUANTILE_RTOL = 0.02
+
+
+def _assert_quantile_close(estimate, sojourns_ms, q):
+    """The estimate must land between the two order statistics the exact
+    interpolation uses, within one histogram bucket of slack."""
+    values = sorted(sojourns_ms)
+    rank = (q / 100.0) * (len(values) - 1)
+    lo = values[math.floor(rank)] * (1 - QUANTILE_RTOL)
+    hi = values[math.ceil(rank)] * (1 + QUANTILE_RTOL)
+    assert lo <= estimate <= hi, (estimate, lo, hi, q)
+
+
+def _assert_mirrors(report, summary, *, check_slo=True):
+    """Every shared figure: counters exact, means to reordering,
+    quantiles within estimator tolerance."""
+    assert summary.n_requests == report.n_requests
+    assert summary.mean_batch_size == report.mean_batch_size
+    assert summary.max_batch_size == report.max_batch_size
+    assert summary.padding_waste_frac == report.padding_waste_frac
+    assert summary.mean_ms == pytest.approx(report.mean_ms, rel=1e-9)
+    assert summary.mean_queue_delay_ms == pytest.approx(
+        report.mean_queue_delay_ms, rel=1e-9, abs=1e-15
+    )
+    assert summary.mean_service_ms == pytest.approx(
+        report.mean_service_ms, rel=1e-9
+    )
+    assert summary.throughput_rps == pytest.approx(
+        report.throughput_rps, rel=1e-9
+    )
+    assert summary.offered_rate_per_s == pytest.approx(
+        report.offered_rate_per_s, rel=1e-9
+    )
+    assert summary.max_rate_per_s == pytest.approx(
+        report.max_rate_per_s, rel=1e-9
+    )
+    assert summary.saturated == report.saturated
+    if check_slo:
+        assert summary.slo_miss_rate == report.slo_miss_rate
+        assert summary.slo_attainment == report.slo_attainment
+    sojourns = [r.sojourn_ms for r in report.responses]
+    for q in (50, 90, 99):
+        _assert_quantile_close(summary.percentile_ms(q), sojourns, q)
+
+
+class TestSummaryMirrorsReport:
+    """Seeded fuzz: the summary and the report see the same stream."""
+
+    SCENARIOS = list(range(10))
+
+    def _scenario(self, seed):
+        rng = random.Random(seed)
+        platform = rng.choice(["gpu", "brainwave"])
+        scheduler = rng.choice(["fifo", "edf", "priority", "sjf"])
+        batcher = rng.choice(["none", "size-cap", "pad", "bucket"])
+        lengths = rng.choice(
+            [None, UniformLength(10, 60), ZipfLength(8, 120, alpha=1.4)]
+        )
+        n = rng.choice([300, 800])
+        rate = rng.choice([400.0, 2000.0, 6000.0])
+        streams = [
+            poisson_arrivals(
+                T,
+                rate_per_s=rate,
+                n_requests=n,
+                seed=seed,
+                tenant="alpha",
+                priority=0,
+                lengths=lengths,
+            ),
+            mmpp_arrivals(
+                GRU,
+                quiet_rate_per_s=rate / 2,
+                burst_rate_per_s=rate * 4,
+                n_requests=n // 2,
+                seed=seed + 1,
+                tenant="beta",
+                priority=1,
+                slo_ms=rng.choice([4.0, 25.0]),
+                lengths=lengths,
+            ),
+        ]
+        arrivals = mix(*streams)
+        kwargs = dict(
+            slo_ms=10.0,
+            scheduler=scheduler,
+            batcher=batcher,
+            max_batch=rng.choice([2, 8]),
+        )
+        return platform, arrivals, kwargs
+
+    @pytest.mark.parametrize("seed", SCENARIOS)
+    def test_fuzzed_stream_mirrors(self, seed):
+        platform, arrivals, kwargs = self._scenario(seed)
+        report = ServingEngine(platform).serve_stream(arrivals, **kwargs)
+        summary = ServingEngine(platform).serve_stream(
+            arrivals, mode="summary", **kwargs
+        )
+        _assert_mirrors(report, summary)
+        assert summary.platform == report.platform
+        assert summary.scheduler == report.scheduler
+        assert summary.batcher == report.batcher
+
+    @pytest.mark.parametrize("seed", SCENARIOS[:4])
+    def test_slices_mirror_and_sum(self, seed):
+        platform, arrivals, kwargs = self._scenario(seed)
+        report = ServingEngine(platform).serve_stream(arrivals, **kwargs)
+        summary = ServingEngine(platform).serve_stream(
+            arrivals, mode="summary", **kwargs
+        )
+        for slicer in ("per_tenant", "per_priority", "per_length_band"):
+            report_slices = getattr(report, slicer)()
+            summary_slices = getattr(summary, slicer)()
+            assert set(report_slices) == set(summary_slices)
+            assert sum(
+                s.n_requests for s in summary_slices.values()
+            ) == summary.n_requests
+            for key, sub_report in report_slices.items():
+                _assert_mirrors(sub_report, summary_slices[key])
+
+    def test_presorted_summary_identical_to_unsorted(self):
+        arrivals = poisson_arrivals(T, rate_per_s=2000, n_requests=500, seed=2)
+        a = ServingEngine("gpu").serve_stream(
+            arrivals, slo_ms=5.0, mode="summary"
+        )
+        b = ServingEngine("gpu").serve_stream(
+            arrivals, slo_ms=5.0, mode="summary", presorted=True
+        )
+        assert a.n_requests == b.n_requests
+        assert a.mean_ms == b.mean_ms
+        assert a.p99_ms == b.p99_ms
+        assert a.slo_attainment == b.slo_attainment
+
+
+class TestSummaryExactSmallStreams:
+    def test_small_stream_percentiles_exact(self):
+        # Every class stays inside its reservoir -> exact interpolation.
+        arrivals = poisson_arrivals(
+            T, rate_per_s=3000, n_requests=EXACT_SAMPLE_CAP, seed=5
+        )
+        report = ServingEngine("gpu").serve_stream(arrivals, slo_ms=5.0)
+        summary = ServingEngine("gpu").serve_stream(
+            arrivals, slo_ms=5.0, mode="summary"
+        )
+        assert summary.p50_ms == report.p50_ms
+        assert summary.p99_ms == report.p99_ms
+        assert summary.min_sojourn_ms == min(r.sojourn_ms for r in report.responses)
+        assert summary.max_sojourn_ms == max(r.sojourn_ms for r in report.responses)
+
+    def test_small_slices_of_big_streams_stay_exact(self):
+        # A rare tenant inside a large stream keeps exact percentiles as
+        # long as its own classes stay inside their reservoirs.
+        big = poisson_arrivals(
+            T, rate_per_s=4000, n_requests=1500, seed=1, tenant="main"
+        )
+        rare = poisson_arrivals(
+            GRU, rate_per_s=20, n_requests=30, seed=2, tenant="rare"
+        )
+        arrivals = mix(big, rare)
+        report = ServingEngine("gpu").serve_stream(arrivals, slo_ms=10.0)
+        summary = ServingEngine("gpu").serve_stream(
+            arrivals, slo_ms=10.0, mode="summary"
+        )
+        assert (
+            summary.per_tenant()["rare"].p99_ms
+            == report.per_tenant()["rare"].p99_ms
+        )
+
+    def test_single_request(self):
+        summary = ServingEngine("gpu").serve_stream(
+            [ServeRequest(task=T)], slo_ms=5.0, mode="summary"
+        )
+        assert summary.n_requests == 1
+        assert summary.p50_ms == summary.p99_ms == summary.mean_ms
+        assert summary.offered_rate_per_s == 0.0
+
+
+class TestSummaryErrors:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServingError, match="unknown stream mode"):
+            ServingEngine("gpu").serve_stream([T], mode="streaming")
+
+    def test_empty_summary_finalize_raises(self):
+        with pytest.raises(ServingError, match="no responses"):
+            StreamSummary("gpu").finalize()
+
+    def test_miss_rate_without_slo_raises(self):
+        summary = ServingEngine("gpu").serve_stream([T], mode="summary")
+        with pytest.raises(ServingError, match="no SLO"):
+            summary.slo_miss_rate
+
+    def test_length_band_rebucketing_rejected(self):
+        summary = ServingEngine("gpu").serve_stream(
+            [T], slo_ms=5.0, mode="summary"
+        )
+        with pytest.raises(ServingError, match="band"):
+            summary.per_length_band(band_base=10.0)
+
+    def test_percentile_helper_empty(self):
+        with pytest.raises(ServingError, match="empty"):
+            percentile([], 50)
+
+
+class TestHistogramEdges:
+    def test_bucket_index_clamps_both_ends(self):
+        from repro.serving.stats import _HIST_BUCKETS, _bucket_index
+
+        assert _bucket_index(1e-9) == 0
+        assert _bucket_index(1e12) == _HIST_BUCKETS - 1
+        assert 0 < _bucket_index(1.0) < _HIST_BUCKETS - 1
+
+    def test_out_of_range_sojourns_still_bounded_by_min_max(self):
+        # Values beyond the histogram range clamp into the edge buckets;
+        # the quantile estimate is then clamped to the exact min/max.
+        summary = StreamSummary("gpu", slo_ms=None)
+        acc_values = [1e-7] * 60 + [1e9] * 60  # force a spill, both ends
+        for i, v in enumerate(acc_values):
+            req = ServeRequest(task=T, arrival_s=float(i), request_id=i)
+            result = ServingEngine("gpu").serve(T).result
+            summary.observe_served(req, result, float(i), float(i) + v / 1e3, 1)
+        summary.finalize()
+        assert summary.min_sojourn_ms <= summary.p50_ms <= summary.max_sojourn_ms
+        assert summary.p99_ms <= summary.max_sojourn_ms
+
+
+class TestFleetSummary:
+    def test_replica_counts_match_full_report(self):
+        arrivals = poisson_arrivals(T, rate_per_s=5000, n_requests=400, seed=11)
+        report = Fleet("gpu", replicas=3, policy="least-loaded").serve_stream(
+            arrivals, slo_ms=5.0
+        )
+        summary = Fleet("gpu", replicas=3, policy="least-loaded").serve_stream(
+            arrivals, slo_ms=5.0, mode="summary"
+        )
+        assert summary.per_replica_counts == report.per_replica_counts
+        assert summary.replicas == report.replicas
+        assert summary.policy == "least-loaded"
+        _assert_mirrors(report, summary)
+
+    def test_single_replica_fast_paths_count_assignments(self):
+        # The no-heap fast paths must still feed per-replica counts.
+        arrivals = poisson_arrivals(T, rate_per_s=900, n_requests=50, seed=2)
+        for scheduler in ("fifo", "edf"):
+            summary = Fleet("gpu", replicas=1).serve_stream(
+                arrivals, slo_ms=5.0, scheduler=scheduler, mode="summary"
+            )
+            assert summary.per_replica_counts == (50,)
+
+    def test_autoscaled_summary_carries_scale_events(self):
+        arrivals = poisson_arrivals(T, rate_per_s=6000, n_requests=600, seed=4)
+        fleet = Fleet("gpu", replicas=1)
+        scaler = Autoscaler(min_replicas=1, max_replicas=4)
+        report = fleet.serve_stream(arrivals, slo_ms=5.0, autoscaler=scaler)
+        summary = Fleet("gpu", replicas=1).serve_stream(
+            arrivals,
+            slo_ms=5.0,
+            autoscaler=Autoscaler(min_replicas=1, max_replicas=4),
+            mode="summary",
+        )
+        assert summary.scale_events == report.scale_events
+        assert summary.replicas == report.replicas
+        assert summary.active_replicas == report.active_replicas
+
+
+class TestResultMemo:
+    def test_memo_returns_identical_object(self):
+        engine = ServingEngine("gpu")
+        first = engine.result_for(T)
+        assert engine.result_for(T) is first
+        assert engine.serve_batched(T, 4) is engine.serve_batched(T, 4)
+
+    def test_memo_counts_like_prepare_hits(self):
+        engine = ServingEngine("gpu")
+        for _ in range(5):
+            engine.result_for(T)
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_stats.hits == 4
+
+    def test_memoize_off_recomputes_equal_results(self):
+        engine = ServingEngine("gpu", memoize=False)
+        first = engine.result_for(T)
+        second = engine.result_for(T)
+        assert first is not second
+        assert first == second
+
+    def test_memo_capacity_evicts_lru(self):
+        engine = ServingEngine("gpu", memo_capacity=2)
+        a = engine.result_for(T.with_timesteps(10))
+        engine.result_for(T.with_timesteps(20))
+        # Touch the first shape so it is most-recently-used...
+        assert engine.result_for(T.with_timesteps(10)) is a
+        engine.result_for(T.with_timesteps(30))  # evicts timesteps=20
+        assert engine.result_for(T.with_timesteps(10)) is a  # survived
+        assert len(engine._memo) == 2
+
+    def test_memo_capacity_validated(self):
+        with pytest.raises(ServingError, match="memo_capacity"):
+            ServingEngine("gpu", memo_capacity=0)
+
+    def test_clear_cache_clears_memo(self):
+        engine = ServingEngine("gpu")
+        first = engine.result_for(T)
+        engine.clear_cache()
+        assert engine.result_for(T) is not first
+        assert engine.cache_stats.misses == 1
+
+    def test_fleet_replicas_share_memo(self):
+        fleet = Fleet("gpu", replicas=3)
+        arrivals = poisson_arrivals(T, rate_per_s=5000, n_requests=60, seed=0)
+        fleet.serve_stream(arrivals, slo_ms=5.0)
+        # One replica consulted the cost model once; the whole fleet
+        # shares that entry.
+        assert sum(e.cache_stats.misses for e in fleet.engines) == 1
+        assert len(fleet._shared_memo) == 1
+
+    def test_stream_timeline_identical_with_and_without_memo(self):
+        arrivals = poisson_arrivals(T, rate_per_s=2000, n_requests=300, seed=9)
+        with_memo = ServingEngine("gpu").serve_stream(arrivals, slo_ms=5.0)
+        without = ServingEngine("gpu", memoize=False).serve_stream(
+            arrivals, slo_ms=5.0
+        )
+        assert with_memo.responses == without.responses
+
+
+class TestPresortedValidation:
+    def test_presorted_returns_lazy_iterator(self):
+        arrivals = uniform_arrivals(T, rate_per_s=10, n_requests=3)
+        lazy = normalize_arrivals(arrivals, presorted=True)
+        assert not isinstance(lazy, list)
+        assert [r.request_id for r in lazy] == [0, 1, 2]
+
+    def test_out_of_order_arrivals_rejected(self):
+        reqs = [
+            ServeRequest(task=T, arrival_s=0.2, request_id=0),
+            ServeRequest(task=T, arrival_s=0.1, request_id=1),
+        ]
+        with pytest.raises(ServingError, match="out of order"):
+            list(normalize_arrivals(reqs, presorted=True))
+
+    def test_non_monotone_ids_rejected(self):
+        reqs = [
+            ServeRequest(task=T, arrival_s=0.1, request_id=5),
+            ServeRequest(task=T, arrival_s=0.2, request_id=5),
+        ]
+        with pytest.raises(ServingError, match="strictly increasing"):
+            list(normalize_arrivals(reqs, presorted=True))
+
+    def test_empty_presorted_stream_rejected_by_loop(self):
+        with pytest.raises(ServingError, match="at least one request"):
+            ServingEngine("gpu").serve_stream(
+                iter(()), mode="summary", presorted=True
+            )
+
+    def test_presorted_full_mode_bit_identical(self):
+        arrivals = poisson_arrivals(T, rate_per_s=1500, n_requests=400, seed=3)
+        classic = ServingEngine("gpu").serve_stream(arrivals, slo_ms=5.0)
+        lazy = ServingEngine("gpu").serve_stream(
+            iter(arrivals), slo_ms=5.0, presorted=True
+        )
+        assert classic.responses == lazy.responses
+
+
+class TestLazyGenerators:
+    @pytest.mark.parametrize("lengths", [None, ZipfLength(8, 90)])
+    def test_poisson_lazy_equals_eager(self, lengths):
+        kwargs = dict(
+            rate_per_s=700.0, n_requests=2000, seed=6, lengths=lengths,
+            tenant="t", priority=2, slo_ms=9.0,
+        )
+        eager = poisson_arrivals(T, **kwargs)
+        lazy = poisson_arrivals(T, materialize=False, **kwargs)
+        assert tuple(lazy) == eager
+
+    def test_uniform_lazy_equals_eager(self):
+        eager = uniform_arrivals(
+            T, rate_per_s=50, n_requests=200, lengths=UniformLength(5, 40)
+        )
+        lazy = uniform_arrivals(
+            T,
+            rate_per_s=50,
+            n_requests=200,
+            lengths=UniformLength(5, 40),
+            materialize=False,
+        )
+        assert tuple(lazy) == eager
+
+    def test_mmpp_lazy_equals_eager(self):
+        kwargs = dict(
+            quiet_rate_per_s=100.0, burst_rate_per_s=5000.0,
+            n_requests=300, seed=8,
+        )
+        assert tuple(
+            mmpp_arrivals(T, materialize=False, **kwargs)
+        ) == mmpp_arrivals(T, **kwargs)
+
+    def test_diurnal_lazy_equals_eager(self):
+        kwargs = dict(
+            base_rate_per_s=50.0, peak_rate_per_s=800.0, period_s=1.5,
+            n_requests=300, seed=2,
+        )
+        assert tuple(
+            diurnal_arrivals(T, materialize=False, **kwargs)
+        ) == diurnal_arrivals(T, **kwargs)
+
+    def test_lazy_mix_equals_eager_mix(self):
+        def streams(materialize):
+            return [
+                poisson_arrivals(
+                    T, rate_per_s=300, n_requests=150, seed=1, tenant="a",
+                    materialize=materialize,
+                ),
+                poisson_arrivals(
+                    GRU, rate_per_s=500, n_requests=150, seed=2, tenant="b",
+                    slo_ms=3.0, materialize=materialize,
+                ),
+            ]
+
+        eager = mix(*streams(True))
+        lazy = mix(*streams(False), presorted=True)
+        assert tuple(lazy) == eager
+
+    def test_lazy_stream_through_summary_mode(self):
+        eager = poisson_arrivals(T, rate_per_s=1500, n_requests=800, seed=12)
+        report = ServingEngine("gpu").serve_stream(eager, slo_ms=5.0)
+        summary = ServingEngine("gpu").serve_stream(
+            poisson_arrivals(
+                T, rate_per_s=1500, n_requests=800, seed=12, materialize=False
+            ),
+            slo_ms=5.0,
+            mode="summary",
+            presorted=True,
+        )
+        _assert_mirrors(report, summary)
+
+
+class TestStreamingTraces:
+    def test_iter_trace_matches_replay(self, tmp_path):
+        reqs = poisson_arrivals(
+            T, rate_per_s=200, n_requests=50, seed=4, slo_ms=7.0
+        )
+        path = record_trace(reqs, tmp_path / "t.jsonl")
+        assert tuple(iter_trace(path)) == replay_trace(path) == reqs
+
+    def test_record_trace_from_lazy_generator(self, tmp_path):
+        lazy = poisson_arrivals(
+            T, rate_per_s=200, n_requests=50, seed=4, materialize=False
+        )
+        path = record_trace(lazy, tmp_path / "t.jsonl")
+        assert replay_trace(path) == poisson_arrivals(
+            T, rate_per_s=200, n_requests=50, seed=4
+        )
+
+    def test_record_empty_trace_leaves_no_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with pytest.raises(ServingError, match="empty trace"):
+            record_trace(iter(()), path)
+        assert not path.exists()
+
+    def test_failed_recording_preserves_existing_trace(self, tmp_path):
+        reqs = uniform_arrivals(T, rate_per_s=10, n_requests=3)
+        path = record_trace(reqs, tmp_path / "keep.jsonl")
+        with pytest.raises(ServingError, match="empty trace"):
+            record_trace(iter(()), path)  # must not clobber the old trace
+        assert replay_trace(path) == reqs
+
+        def exploding():
+            yield reqs[0]
+            raise RuntimeError("generator died mid-stream")
+
+        with pytest.raises(RuntimeError):
+            record_trace(exploding(), path)
+        assert replay_trace(path) == reqs  # still the original, whole
+        assert not (tmp_path / "keep.jsonl.partial").exists()
+
+    def test_iter_trace_missing_file(self):
+        with pytest.raises(ServingError, match="not found"):
+            iter_trace("no/such/trace.jsonl")
+
+    def test_replayed_trace_streams_through_summary(self, tmp_path):
+        reqs = mix(
+            poisson_arrivals(T, rate_per_s=800, n_requests=120, seed=1,
+                             tenant="a"),
+            poisson_arrivals(GRU, rate_per_s=400, n_requests=80, seed=2,
+                             tenant="b"),
+        )
+        path = record_trace(reqs, tmp_path / "mix.jsonl")
+        report = ServingEngine("gpu").serve_stream(reqs, slo_ms=5.0)
+        summary = ServingEngine("gpu").serve_stream(
+            iter_trace(path), slo_ms=5.0, mode="summary", presorted=True
+        )
+        _assert_mirrors(report, summary)
+
+
+class TestLeastLoadedDispatcherParity:
+    """The incremental heap dispatcher must pick the exact replica the
+    naive O(replicas) scan picked, on every arrival."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("replicas", [2, 5])
+    def test_matches_naive_scan(self, seed, replicas):
+        arrivals = poisson_arrivals(
+            T, rate_per_s=3000.0 * replicas, n_requests=400, seed=seed
+        )
+        fleet = Fleet("gpu", replicas=replicas, policy="least-loaded")
+        report = fleet.serve_stream(arrivals, slo_ms=5.0)
+
+        def naive(seq, req, work_until):
+            return min(
+                range(len(work_until)), key=lambda j: (work_until[j], j)
+            )
+
+        reference = run_stream(
+            arrivals,
+            engines=[ServingEngine("gpu") for _ in range(replicas)],
+            schedulers=[make_scheduler("fifo") for _ in range(replicas)],
+            dispatch=naive,
+            slo_ms=5.0,
+        )
+        assert list(report.assignments) == reference.assignments
+        assert list(report.responses) == reference.responses
+
+
+class _HeapForcedNone(NoneBatcher):
+    """Overriding hold_until (same value) forces the general heap loop."""
+
+    def hold_until(self, queue, now):
+        return now
+
+
+class TestFastPathParity:
+    """The specialized single-replica loops must be bit-identical to the
+    general heap loop on the same stream."""
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "edf", "sjf"])
+    @pytest.mark.parametrize("rate", [900.0, 6000.0])
+    def test_single_replica_fast_paths_match_heap(self, scheduler, rate):
+        arrivals = poisson_arrivals(T, rate_per_s=rate, n_requests=500, seed=7)
+        fast = ServingEngine("gpu").serve_stream(
+            arrivals, slo_ms=5.0, scheduler=scheduler
+        )
+        heap = ServingEngine("gpu").serve_stream(
+            arrivals,
+            slo_ms=5.0,
+            scheduler=scheduler,
+            batcher=lambda: _HeapForcedNone(),
+        )
+        assert fast.responses == heap.responses
+
+    def test_batched_single_replica_matches_heap(self):
+        arrivals = poisson_arrivals(
+            GRU, rate_per_s=8000, n_requests=400, seed=3,
+            lengths=ZipfLength(10, 80),
+        )
+        fast = ServingEngine("brainwave").serve_stream(
+            arrivals, slo_ms=50.0, batcher="bucket", max_batch=8
+        )
+        # Same policy, but with hold_until overridden (returning `now`
+        # unchanged), which forces the general heap loop.
+        heap = ServingEngine("brainwave").serve_stream(
+            arrivals, slo_ms=50.0, batcher=_forced_bucket
+        )
+        assert fast.responses == heap.responses
+
+
+def _forced_bucket():
+    from repro.serving.batching import BucketBatcher
+
+    class _HeapForcedBucket(BucketBatcher):
+        def hold_until(self, queue, now):
+            return now
+
+    return _HeapForcedBucket(max_batch=8)
+
+
+class TestRequestCountParsing:
+    def test_scientific_notation(self):
+        from repro.harness.cli import _request_count
+
+        assert _request_count("1e6") == 1_000_000
+        assert _request_count("2.5e3") == 2500
+        assert _request_count("1000") == 1000
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "1.5", "abc", "1e-3"])
+    def test_rejects_non_counts(self, bad):
+        import argparse
+
+        from repro.harness.cli import _request_count
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _request_count(bad)
+
+    def test_cli_summary_mode_end_to_end(self, capsys):
+        from repro.harness.cli import main
+
+        assert main([
+            "serve", "lstm", "512", "--platform", "gpu", "--stream",
+            "--rate", "1000", "--requests", "2e3", "--slo-ms", "5",
+            "--mode", "summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "summary mode" in out
+        assert "2000 requests" in out
