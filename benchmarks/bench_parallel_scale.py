@@ -1,0 +1,293 @@
+"""Sharded parallel replay scaling + live async server throughput.
+
+PR 6 added two ways to spend more hardware on the same workload:
+``repro.serving.parallel`` fans a seeded stream across a process pool
+(one event loop per shard, merged summaries), and
+``repro.serving.server`` serves real concurrent asyncio clients off the
+same cost models.  This benchmark guards both:
+
+* **Parity under parallelism** — the merged 4-shard summary must keep
+  *exact* counter parity (requests, SLO attainment, batch sizes,
+  per-replica counts, quantiles) with the equivalent round-robin fleet
+  replay, whatever the pool size.  This is checked unconditionally: it
+  is the correctness contract, not a performance number.
+* **Scaling curve** — wall time of the same 4-shard run with 1, 2, and
+  4 pool workers.  The speedup floors (≥1.6× at 2 workers, ≥2.5× at 4)
+  are enforced only when the machine actually has ≥4 CPUs
+  (``os.cpu_count()``); single-core CI still runs the curve and records
+  it in the artifact, it just cannot fail a floor it physically cannot
+  meet.
+* **Live-server smoke** — a virtual-clock :class:`ServingServer` must
+  sustain a wall-clock floor of requests/s across ≥50 concurrent
+  closed-loop asyncio clients with zero request loss and a clean drain.
+
+Run under pytest (CI's benchmarks job) or standalone::
+
+    python benchmarks/bench_parallel_scale.py [--quick]
+
+Either way the metrics land in ``benchmarks/out/parallel_scale.json``
+(the perf-smoke CI job uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import os
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+# Standalone bootstrap (python benchmarks/bench_parallel_scale.py
+# without PYTHONPATH=src): put the in-repo package on the path first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.harness.report import format_table
+from repro.serving import Fleet, ServingServer, poisson_arrivals, serve_parallel
+from repro.workloads.deepbench import task
+
+OUT_JSON = Path(__file__).parent / "out" / "parallel_scale.json"
+
+TASK = task("lstm", 512, 25)
+RATE = 20_000.0
+SLO_MS = 5.0
+SEED = 2026
+SHARDS = 4
+
+#: Speedup floors from the issue's acceptance criteria — enforced only
+#: on machines with at least this many CPUs (a 1-core CI runner cannot
+#: physically scale and must not fail on it).
+SPEEDUP_FLOORS = {2: 1.6, 4: 2.5}
+CPU_GATE = 4
+
+#: Wall-clock requests/s the virtual-clock async server must sustain
+#: across concurrent closed-loop clients.  Measured ~20k/s on a dev
+#: machine; pinned conservatively for slow shared runners.
+SERVER_RPS_FLOOR = 500.0
+
+
+def _stream_factory(n: int):
+    return partial(
+        poisson_arrivals,
+        TASK,
+        rate_per_s=RATE,
+        n_requests=n,
+        seed=SEED,
+        materialize=False,
+    )
+
+
+def _parity(n: int) -> dict:
+    """Merged shards vs the round-robin fleet: exact counters, always."""
+    make = _stream_factory(n)
+    fleet = Fleet("gpu", replicas=SHARDS, policy="round-robin").serve_stream(
+        make(), slo_ms=SLO_MS, mode="summary", presorted=True
+    )
+    merged = serve_parallel(
+        make, "gpu", shards=SHARDS, workers=2, slo_ms=SLO_MS
+    )
+    exact = (
+        merged.n_requests == fleet.n_requests
+        and merged.slo_attainment == fleet.slo_attainment
+        and merged.mean_batch_size == fleet.mean_batch_size
+        and merged.padding_waste_frac == fleet.padding_waste_frac
+        and merged.p50_ms == fleet.p50_ms
+        and merged.p99_ms == fleet.p99_ms
+        and merged.per_replica_counts == fleet.per_replica_counts
+    )
+    close = math.isclose(merged.mean_ms, fleet.mean_ms, rel_tol=1e-9)
+    return {
+        "n_requests": n,
+        "shards": SHARDS,
+        "counters_exact": bool(exact),
+        "mean_ms_close": bool(close),
+        "p99_ms": merged.p99_ms,
+        "slo_attainment": merged.slo_attainment,
+    }
+
+
+def _scaling(n: int) -> dict:
+    """Wall time of the identical 4-shard run at 1/2/4 pool workers."""
+    make = _stream_factory(n)
+    elapsed: dict[int, float] = {}
+    for workers in (1, 2, 4):
+        t0 = time.perf_counter()
+        merged = serve_parallel(
+            make, "gpu", shards=SHARDS, workers=workers, slo_ms=SLO_MS
+        )
+        elapsed[workers] = time.perf_counter() - t0
+        assert merged.n_requests == n
+    return {
+        "n_requests": n,
+        "shards": SHARDS,
+        "elapsed_s": {str(w): s for w, s in elapsed.items()},
+        "requests_per_s": {str(w): n / s for w, s in elapsed.items()},
+        "speedup": {str(w): elapsed[1] / elapsed[w] for w in (2, 4)},
+    }
+
+
+def _server_smoke(n_clients: int, per_client: int) -> dict:
+    """Concurrent closed-loop asyncio clients against a virtual clock."""
+
+    async def client(server: ServingServer, n: int) -> int:
+        done = 0
+        for _ in range(n):
+            await server.submit(TASK)
+            done += 1
+        return done
+
+    async def main() -> tuple[ServingServer, float]:
+        t0 = time.perf_counter()
+        async with ServingServer("gpu", replicas=4, slo_ms=SLO_MS) as server:
+            await asyncio.gather(
+                *(client(server, per_client) for _ in range(n_clients))
+            )
+        return server, time.perf_counter() - t0
+
+    server, wall_s = asyncio.run(main())
+    n = n_clients * per_client
+    return {
+        "clients": n_clients,
+        "requests": n,
+        "wall_s": wall_s,
+        "requests_per_s": n / wall_s,
+        "accepted": server.accepted,
+        "served": server.served,
+        "conserved": bool(
+            server.accepted == server.served == n
+            and server.summary.n_requests == n
+        ),
+        "slo_attainment": server.summary.slo_attainment,
+        "mean_batch_size": server.summary.mean_batch_size,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    cpu_count = os.cpu_count() or 1
+    return {
+        "quick": quick,
+        "cpu_count": cpu_count,
+        "floors_gated": cpu_count < CPU_GATE,
+        "workload": f"{TASK.name} poisson@{RATE:.0f}/s seed={SEED}",
+        "parity": _parity(30_000 if quick else 100_000),
+        "scaling": _scaling(60_000 if quick else 200_000),
+        "server": _server_smoke(*((25, 8) if quick else (50, 20))),
+        "floors": {
+            "speedup": {str(w): f for w, f in SPEEDUP_FLOORS.items()},
+            "server_rps": SERVER_RPS_FLOOR,
+            "cpu_gate": CPU_GATE,
+        },
+    }
+
+
+def check(metrics: dict) -> list[str]:
+    """The regressions this benchmark exists to catch."""
+    failures = []
+    parity = metrics["parity"]
+    if not parity["counters_exact"]:
+        failures.append(
+            f"merged {parity['shards']}-shard summary lost exact counter "
+            f"parity with the round-robin fleet on the "
+            f"{parity['n_requests']}-request stream"
+        )
+    if not parity["mean_ms_close"]:
+        failures.append("merged mean sojourn drifted beyond summation-order noise")
+    if metrics["floors_gated"]:
+        # 1-core runner: the curve is recorded but no floor can bind.
+        pass
+    else:
+        for workers, floor in SPEEDUP_FLOORS.items():
+            got = metrics["scaling"]["speedup"][str(workers)]
+            if got < floor:
+                failures.append(
+                    f"{workers}-worker speedup {got:.2f}x fell below the "
+                    f"{floor:.1f}x floor ({metrics['cpu_count']} CPUs)"
+                )
+    server = metrics["server"]
+    if not server["conserved"]:
+        failures.append(
+            f"live server lost requests: accepted={server['accepted']} "
+            f"served={server['served']} of {server['requests']}"
+        )
+    if server["requests_per_s"] < SERVER_RPS_FLOOR:
+        failures.append(
+            f"live server sustained only {server['requests_per_s']:.0f} "
+            f"req/s across {server['clients']} clients "
+            f"(floor: {SERVER_RPS_FLOOR:.0f}/s)"
+        )
+    return failures
+
+
+def _render(metrics: dict) -> str:
+    scaling = metrics["scaling"]
+    server = metrics["server"]
+    parity = metrics["parity"]
+    gate = (
+        f"floors gated: {metrics['cpu_count']} CPU(s) < {CPU_GATE}"
+        if metrics["floors_gated"]
+        else "floors enforced"
+    )
+    rows = [
+        [
+            f"{SHARDS} shards x {w} worker(s), {scaling['n_requests'] // 1000}k req",
+            f"{scaling['elapsed_s'][str(w)]:.2f}",
+            f"{scaling['requests_per_s'][str(w)]:,.0f}",
+            "-" if w == 1 else f"{scaling['speedup'][str(w)]:.2f}x "
+            f"(floor {SPEEDUP_FLOORS[w]:.1f}x)",
+        ]
+        for w in (1, 2, 4)
+    ]
+    rows.append(
+        [
+            f"async server, {server['clients']} closed-loop clients",
+            f"{server['wall_s']:.2f}",
+            f"{server['requests_per_s']:,.0f}",
+            f"conserved={server['conserved']}",
+        ]
+    )
+    return format_table(
+        ["configuration", "wall s", "req/s", "speedup / check"],
+        rows,
+        title=f"Parallel scale: {metrics['workload']} — parity "
+        f"{'EXACT' if parity['counters_exact'] else 'BROKEN'}, {gate}",
+    )
+
+
+def _write_json(metrics: dict) -> None:
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+
+
+def test_parallel_scale(artifact):
+    metrics = run(quick=False)
+    _write_json(metrics)
+    artifact("parallel_scale", _render(metrics))
+    failures = check(metrics)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller request counts (the CI perf-smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+    metrics = run(quick=args.quick)
+    _write_json(metrics)
+    print(_render(metrics))
+    print(f"[json: {OUT_JSON}]")
+    failures = check(metrics)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

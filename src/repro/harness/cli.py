@@ -49,18 +49,70 @@ def _cmd_claims(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.errors import ServingError
     from repro.serving import available_platforms, get_platform
     from repro.workloads.deepbench import task
 
+    _validate_serve_flags(args)
     t = task(args.kind, args.hidden, args.timesteps)
     if args.platform:
         get_platform(args.platform)  # fail fast with the registry's message
         names = [args.platform]
     else:
         names = list(available_platforms())
+    if args.listen and args.clients is None:
+        if not args.platform:
+            raise ServingError(
+                "--listen without --clients serves forever and needs one "
+                "platform; pass --platform NAME"
+            )
+        return _serve_listen_forever(args, t)
+    if args.clients is not None:
+        return _serve_live_table(args, t, names)
     if args.stream:
         return _serve_stream_table(args, t, names)
     return _serve_once_table(t, names)
+
+
+def _validate_serve_flags(args: argparse.Namespace) -> None:
+    """Cross-flag validation for the parallel/live serving frontends.
+
+    Also resolves the ``--mode`` default: ``full`` classically, but a
+    sharded run *is* summary serving (each worker streams its shard
+    through O(1)-memory statistics), so ``--shards`` defaults to
+    ``summary`` and an explicit ``--mode full`` with it is rejected
+    rather than silently downgraded.
+    """
+    from repro.errors import ServingError
+
+    if args.shards is not None and args.shards < 1:
+        raise ServingError("--shards must be >= 1")
+    if args.workers is not None:
+        if args.workers < 1:
+            raise ServingError("--workers must be >= 1")
+        if args.shards is None:
+            raise ServingError("--workers only applies to a sharded run; add --shards N")
+    if args.clients is not None and args.clients < 1:
+        raise ServingError("--clients must be >= 1")
+    if args.listen:
+        _parse_listen(args.listen)  # fail fast on a malformed spec
+    if args.shards is not None:
+        if args.listen:
+            raise ServingError(
+                "--shards replays a stream across worker processes and "
+                "--listen starts a live server; pick one frontend"
+            )
+        if args.mode == "full":
+            raise ServingError(
+                "--shards merges per-shard summaries and cannot "
+                "materialize every response; drop --mode full (sharded "
+                "runs default to --mode summary)"
+            )
+    if args.mode is None:
+        args.mode = "summary" if args.shards is not None else "full"
+    if args.shards is not None or args.listen or args.clients is not None:
+        # The parallel and live frontends are stream serving by definition.
+        args.stream = True
 
 
 #: Fallback sequence length for --mix specs naming a task outside the
@@ -151,6 +203,14 @@ def _parse_mix(spec: str):
     return entries
 
 
+def _mix_lazy(tenant_kwargs: tuple) -> object:
+    """Module-level lazy --mix factory (closures cannot cross a
+    multiprocessing pool, so sharded runs need a picklable callable)."""
+    from repro.serving import mix, poisson_arrivals
+
+    return mix(*(poisson_arrivals(**kw) for kw in tenant_kwargs), presorted=True)
+
+
 def _build_stream(args: argparse.Namespace, default_task):
     """Build the arrival stream for --stream mode.
 
@@ -165,8 +225,11 @@ def _build_stream(args: argparse.Namespace, default_task):
     by line (:func:`~repro.serving.traffic.iter_trace`), generators
     yield requests one at a time (``materialize=False``), and --mix
     merges sorted tenant streams incrementally — a million-request
-    stream never sits in memory.
+    stream never sits in memory.  The lazy factories are built from
+    module-level callables (``functools.partial``), so ``--shards`` can
+    ship them to pool workers for per-shard re-generation.
     """
+    from functools import partial
     from repro.errors import ServingError
     from repro.serving import (
         iter_trace,
@@ -187,8 +250,7 @@ def _build_stream(args: argparse.Namespace, default_task):
                 "of --trace / --length-dist"
             )
         if lazy:
-            def factory():
-                return iter_trace(args.trace)
+            factory = partial(iter_trace, args.trace)
         else:
             arrivals = replay_trace(args.trace)
 
@@ -199,44 +261,43 @@ def _build_stream(args: argparse.Namespace, default_task):
         specs = _parse_mix(args.mix)
         per_rate = args.rate / len(specs)
         per_n = max(1, args.requests // len(specs))
-
-        def tenant_streams():
-            return [
-                poisson_arrivals(
-                    t,
-                    rate_per_s=per_rate,
-                    n_requests=per_n,
-                    seed=args.seed + i,
-                    tenant=t.name,
-                    priority=priority,
-                    slo_ms=slo_ms,
-                    lengths=lengths,
-                    materialize=not lazy,
-                )
-                for i, (t, slo_ms, priority) in enumerate(specs)
-            ]
+        tenant_kwargs = tuple(
+            dict(
+                task=t,
+                rate_per_s=per_rate,
+                n_requests=per_n,
+                seed=args.seed + i,
+                tenant=t.name,
+                priority=priority,
+                slo_ms=slo_ms,
+                lengths=lengths,
+                materialize=not lazy,
+            )
+            for i, (t, slo_ms, priority) in enumerate(specs)
+        )
 
         if lazy:
-            def factory():
-                return mix(*tenant_streams(), presorted=True)
+            factory = partial(_mix_lazy, tenant_kwargs)
         else:
-            arrivals = mix(*tenant_streams())
+            arrivals = mix(
+                *(poisson_arrivals(**kw) for kw in tenant_kwargs)
+            )
 
             def factory():
                 return arrivals
         desc = f"{len(specs)}-tenant mix at {args.rate:.0f} req/s"
     else:
         if lazy:
-            def factory():
-                return poisson_arrivals(
-                    default_task,
-                    rate_per_s=args.rate,
-                    n_requests=args.requests,
-                    seed=args.seed,
-                    tenant=default_task.name,
-                    lengths=lengths,
-                    materialize=False,
-                )
+            factory = partial(
+                poisson_arrivals,
+                default_task,
+                rate_per_s=args.rate,
+                n_requests=args.requests,
+                seed=args.seed,
+                tenant=default_task.name,
+                lengths=lengths,
+                materialize=False,
+            )
         else:
             arrivals = poisson_arrivals(
                 default_task,
@@ -356,8 +417,25 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     rows = []
     breakdowns = []
     for name in names:
-        arrivals = make_arrivals()
-        if args.replicas > 1 or autoscaler is not None:
+        arrivals = None if args.shards is not None else make_arrivals()
+        if args.shards is not None:
+            from repro.serving import serve_parallel
+
+            report = serve_parallel(
+                make_arrivals,
+                name,
+                shards=args.shards,
+                shard_by=args.shard_by,
+                workers=args.workers,
+                replicas=args.replicas,
+                policy=args.policy,
+                scheduler=args.scheduler,
+                batcher=args.batcher,
+                max_batch=args.max_batch,
+                slo_ms=args.slo_ms,
+                autoscaler=autoscaler,
+            )
+        elif args.replicas > 1 or autoscaler is not None:
             server = Fleet(name, replicas=args.replicas, policy=args.policy)
             report = server.serve_stream(
                 arrivals,
@@ -408,6 +486,8 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
         title += f", {args.batcher} batching <= {args.max_batch}"
     if autoscaler is not None:
         title += f", autoscale {args.autoscale}"
+    if args.shards is not None:
+        title += f", {args.shards} {args.shard_by} shard(s)"
     if args.mode == "summary":
         title += ", summary mode"
     title += ")"
@@ -421,6 +501,204 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     if args.record_trace:
         parts.append(f"[trace recorded: {args.record_trace}]")
     return "\n\n".join(parts)
+
+
+def _parse_listen(spec: str):
+    """Parse ``--listen HOST:PORT`` or ``--listen unix:PATH``."""
+    from repro.errors import ServingError
+
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ServingError("bad --listen spec: unix: needs a socket path")
+        return ("unix", path, None)
+    host, sep, port_text = spec.rpartition(":")
+    try:
+        if not sep or not host:
+            raise ValueError
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError
+    except ValueError:
+        raise ServingError(
+            f"bad --listen spec {spec!r}; expected HOST:PORT or unix:PATH"
+        ) from None
+    return ("tcp", host, port)
+
+
+async def _live_clients(server, bound, requests, n_clients: int):
+    """Drive ``n_clients`` concurrent closed-loop clients to completion.
+
+    Each client owns a round-robin slice of the request stream and
+    submits it one request at a time, awaiting every response before
+    sending the next — in-process via ``server.submit`` or, when
+    ``bound`` names a listening socket, over a real connection speaking
+    the JSONL protocol.
+    """
+    import asyncio
+    import json
+
+    from repro.errors import ServingError
+    from repro.serving import request_to_json
+
+    async def in_process(mine):
+        return [await server.submit(req) for req in mine]
+
+    async def over_socket(mine):
+        kind, host, port = bound
+        if kind == "unix":
+            reader, writer = await asyncio.open_unix_connection(host)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        replies = []
+        for req in mine:
+            writer.write(
+                (json.dumps(request_to_json(req)) + "\n").encode()
+            )
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            if not reply.get("ok"):
+                raise ServingError(f"server refused a request: {reply.get('error')}")
+            replies.append(reply)
+        writer.close()
+        await writer.wait_closed()
+        return replies
+
+    drive = in_process if bound is None else over_socket
+    slices = [requests[i::n_clients] for i in range(n_clients)]
+    await asyncio.gather(*(drive(part) for part in slices if part))
+
+
+def _serve_live_table(args: argparse.Namespace, t, names: list[str]) -> str:
+    """--clients N: a live-server smoke — N concurrent asyncio clients.
+
+    Builds the same arrival stream the simulator would replay, serves it
+    through a :class:`~repro.serving.server.ServingServer` (over the
+    socket when --listen is also given, in-process otherwise) on a
+    virtual clock, drains, and reports the server's stream summary plus
+    the conservation check (accepted == served == answered).
+    """
+    import asyncio
+
+    from repro.errors import ServingError
+    from repro.harness.report import format_table
+    from repro.serving.server import ServingServer
+
+    make_arrivals, desc = _build_stream(args, t)
+    requests = list(make_arrivals())
+    bound_spec = _parse_listen(args.listen) if args.listen else None
+
+    async def run_one(name: str):
+        server = ServingServer(
+            name,
+            replicas=args.replicas,
+            scheduler=args.scheduler,
+            batcher=args.batcher,
+            max_batch=args.max_batch,
+            slo_ms=args.slo_ms,
+        )
+        await server.start()
+        bound = None
+        if bound_spec is not None:
+            kind, host, port = bound_spec
+            if kind == "unix":
+                bound = ("unix", await server.listen_unix(host), None)
+            else:
+                bound = ("tcp", *await server.listen(host, port))
+        await _live_clients(server, bound, requests, args.clients)
+        await server.drain()
+        return server
+
+    rows = []
+    for name in names:
+        server = asyncio.run(run_one(name))
+        summary = server.summary
+        if server.accepted != len(requests) or server.served != len(requests):
+            raise ServingError(
+                f"live serving lost requests on {name}: accepted "
+                f"{server.accepted}, served {server.served} of {len(requests)}"
+            )
+        rows.append(
+            [
+                name,
+                summary.n_requests,
+                round(summary.mean_service_ms, 3),
+                round(summary.p50_ms, 3),
+                round(summary.p99_ms, 3),
+                round(summary.mean_batch_size, 2),
+                f"{100.0 * summary.slo_attainment:.1f}%",
+                "yes",
+            ]
+        )
+    transport = "socket" if args.listen else "in-process"
+    title = (
+        f"Live serving {desc} ({len(requests)} requests, {args.clients} "
+        f"{transport} client(s), {args.replicas} replica(s), "
+        f"{args.scheduler}, {args.batcher} batching)"
+    )
+    return format_table(
+        ["platform", "served", "service ms", "P50 ms", "P99 ms",
+         "mean batch", "SLO attained", "drained"],
+        rows,
+        title=title,
+    )
+
+
+def _serve_listen_forever(args: argparse.Namespace, t) -> str:
+    """--listen without --clients: serve real clients until interrupted.
+
+    Runs on a real (wall) clock; Ctrl-C triggers the graceful drain and
+    the command exits with the stream summary of everything served.
+    """
+    import asyncio
+
+    from repro.serving.server import RealClock, ServingServer
+
+    kind, host, port = _parse_listen(args.listen)
+    box: dict = {}
+
+    async def run() -> None:
+        server = ServingServer(
+            args.platform,
+            replicas=args.replicas,
+            scheduler=args.scheduler,
+            batcher=args.batcher,
+            max_batch=args.max_batch,
+            slo_ms=args.slo_ms,
+            clock=RealClock(),
+        )
+        await server.start()
+        box["server"] = server
+        if kind == "unix":
+            where = await server.listen_unix(host)
+        else:
+            bhost, bport = await server.listen(host, port)
+            where = f"{bhost}:{bport}"
+        print(
+            f"serving {args.platform} on {where} "
+            f"(JSONL trace schema; Ctrl-C to drain)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await server.drain()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    server = box.get("server")
+    if server is None or not server.served:
+        return "live server drained: nothing served"
+    summary = server.summary
+    return (
+        f"live server drained: {summary.n_requests} served, "
+        f"P50 {summary.p50_ms:.3f} ms, P99 {summary.p99_ms:.3f} ms, "
+        f"SLO attained {100.0 * summary.slo_attainment:.1f}%"
+    )
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
@@ -486,8 +764,10 @@ def build_parser() -> argparse.ArgumentParser:
         "discrete-event queue simulation and report P50/P99 against the "
         "SLO.",
         epilog="The --mix mini-grammar "
-        "(kind:hidden[:timesteps][@slo_ms][^priority]) and the full "
-        "serving CLI reference are documented in docs/CLI.md.",
+        "(kind:hidden[:timesteps][@slo_ms][^priority]), the sharded "
+        "multi-core replay (--shards/--workers/--shard-by), the live "
+        "asyncio frontend (--listen/--clients), and the full serving "
+        "CLI reference are documented in docs/CLI.md.",
     )
     serve.add_argument("kind", choices=["lstm", "gru"], nargs="?", default="lstm")
     serve.add_argument("hidden", type=int, nargs="?", default=512)
@@ -517,11 +797,57 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--mode",
         choices=("full", "summary"),
-        default="full",
+        default=None,
         help="stream accounting: 'full' materializes every response "
         "(bit-identical to the classic report); 'summary' streams "
         "arrivals lazily through O(1)-memory online statistics — the "
-        "mode for million-request runs (see docs/CLI.md)",
+        "mode for million-request runs (see docs/CLI.md). Default: "
+        "full, or summary when --shards is given (sharded runs merge "
+        "summaries and reject an explicit --mode full)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split the stream into N shards, simulate each on its own "
+        "event loop in a multiprocessing pool, and merge the per-shard "
+        "summaries — exact counter parity with the single-process run "
+        "(stream mode; implies --mode summary)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --shards (default: min(shards, CPUs)); "
+        "a pure throughput knob — the merged report is identical for "
+        "any worker count",
+    )
+    serve.add_argument(
+        "--shard-by",
+        choices=("replica", "tenant", "hash"),
+        default="replica",
+        help="how --shards partitions the stream: 'replica' by arrival "
+        "position (bit-identical to a round-robin fleet), 'tenant' "
+        "keeps each tenant on one shard, 'hash' spreads by request id",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT|unix:PATH",
+        help="start the live asyncio server speaking the JSONL trace "
+        "schema on a TCP or UNIX socket; alone it serves until Ctrl-C "
+        "(real clock), with --clients it runs a socket smoke test and "
+        "exits",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="C",
+        help="drive the live server with C concurrent closed-loop asyncio "
+        "clients (over the --listen socket if given, else in-process) "
+        "and report the drained stream summary",
     )
     serve.add_argument("--seed", type=int, default=0, help="stream arrival seed")
     serve.add_argument(

@@ -41,6 +41,16 @@ way real accelerator deployments are:
 * :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
   round-robin or least-loaded dispatcher, each with its own scheduler
   and batcher.
+* :mod:`repro.serving.parallel` — :func:`serve_parallel`, sharded
+  multi-core simulation: one independent event loop per shard
+  (replica/tenant/hash/generate sharding) on a ``multiprocessing``
+  pool, merged into one :class:`StreamSummary` with exact counter
+  parity against the single-process run.
+* :mod:`repro.serving.server` — :class:`ServingServer`, the live
+  ``asyncio`` frontend: concurrent clients submit in-process or over a
+  TCP/UNIX JSONL socket (trace schema), service times come from the
+  platform cost models via a pluggable virtual/real clock, and
+  shutdown drains gracefully.
 
 Quickstart::
 
@@ -100,7 +110,21 @@ from repro.serving.platforms import (
     GPUPlatform,
     PlasticinePlatform,
 )
+from repro.serving.parallel import (
+    SHARD_MODES,
+    serve_parallel,
+    shard_of,
+    shard_seed,
+    split_requests,
+)
 from repro.serving.result import ServingResult
+from repro.serving.server import (
+    Clock,
+    RealClock,
+    ServingServer,
+    VirtualClock,
+    response_to_json,
+)
 from repro.serving.stats import StreamSummary
 from repro.serving.scheduler import (
     CoalescingScheduler,
@@ -128,6 +152,8 @@ from repro.serving.traffic import (
     mmpp_arrivals,
     record_trace,
     replay_trace,
+    request_from_json,
+    request_to_json,
 )
 
 __all__ = [
@@ -193,4 +219,16 @@ __all__ = [
     "Fleet",
     "FleetReport",
     "SCHEDULING_POLICIES",
+    "serve_parallel",
+    "shard_seed",
+    "shard_of",
+    "split_requests",
+    "SHARD_MODES",
+    "ServingServer",
+    "Clock",
+    "VirtualClock",
+    "RealClock",
+    "response_to_json",
+    "request_to_json",
+    "request_from_json",
 ]

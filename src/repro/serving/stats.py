@@ -177,13 +177,86 @@ class _ClassAcc:
         if samples is not None:
             samples.append(sojourn_ms)
             if len(samples) > EXACT_SAMPLE_CAP:
-                counts = [0] * _HIST_BUCKETS
-                for value in samples:
-                    counts[_bucket_index(value)] += 1
-                self.counts = counts
-                self.samples = None
+                self._promote()
         else:
             self.counts[_bucket_index(sojourn_ms)] += 1  # type: ignore[index]
+
+    def _promote(self) -> None:
+        """Spill the exact reservoir into histogram buckets."""
+        counts = [0] * _HIST_BUCKETS
+        for value in self.samples:  # type: ignore[union-attr]
+            counts[_bucket_index(value)] += 1
+        self.counts = counts
+        self.samples = None
+
+    def clone(self) -> "_ClassAcc":
+        """A deep-enough copy: merging into the clone never mutates the
+        original (the reservoir/histogram lists are copied)."""
+        new = _ClassAcc(
+            tenant=self.tenant,
+            priority=self.priority,
+            slo_key=self.slo_key,
+            eff_slo_ms=self.eff_slo_ms,
+            timesteps=self.timesteps,
+            useful_flops=self.useful_flops,
+        )
+        for name in (
+            "n", "sojourn_sum_ms", "queue_sum_s", "service_sum_s",
+            "batch_sum", "batch_max", "miss", "exec_flops",
+            "max_arrival_s", "max_finish_s", "min_sojourn_ms",
+            "max_sojourn_ms",
+        ):
+            setattr(new, name, getattr(self, name))
+        new.samples = None if self.samples is None else list(self.samples)
+        new.counts = None if self.counts is None else list(self.counts)
+        return new
+
+    def absorb(self, other: "_ClassAcc") -> None:
+        """Fold another accumulator of the *same class* into this one.
+
+        Counters and sums add; extrema combine; the reservoir stays
+        exact while the combined count fits :data:`EXACT_SAMPLE_CAP` and
+        promotes to histogram buckets beyond it — the same threshold a
+        single-stream accumulator applies, so a merged summary is in the
+        identical samples-vs-counts state as the run it reassembles
+        (which is what makes merged quantiles match the single-process
+        run exactly, not just within tolerance).
+        """
+        self.n += other.n
+        self.sojourn_sum_ms += other.sojourn_sum_ms
+        self.queue_sum_s += other.queue_sum_s
+        self.service_sum_s += other.service_sum_s
+        self.batch_sum += other.batch_sum
+        self.miss += other.miss
+        self.exec_flops += other.exec_flops
+        if other.batch_max > self.batch_max:
+            self.batch_max = other.batch_max
+        if other.max_arrival_s > self.max_arrival_s:
+            self.max_arrival_s = other.max_arrival_s
+        if other.max_finish_s > self.max_finish_s:
+            self.max_finish_s = other.max_finish_s
+        if other.min_sojourn_ms < self.min_sojourn_ms:
+            self.min_sojourn_ms = other.min_sojourn_ms
+        if other.max_sojourn_ms > self.max_sojourn_ms:
+            self.max_sojourn_ms = other.max_sojourn_ms
+        if self.samples is not None and other.samples is not None:
+            self.samples.extend(other.samples)
+            if len(self.samples) > EXACT_SAMPLE_CAP:
+                self._promote()
+            return
+        # At least one side already spilled: the result is a histogram.
+        if self.samples is not None:
+            self._promote()
+        counts = self.counts
+        if other.counts is not None:
+            other_counts = other.counts
+            for idx in range(_HIST_BUCKETS):
+                c = other_counts[idx]
+                if c:
+                    counts[idx] += c  # type: ignore[index]
+        else:
+            for value in other.samples:  # type: ignore[union-attr]
+                counts[_bucket_index(value)] += 1  # type: ignore[index]
 
 
 class StreamSummary:
@@ -381,6 +454,96 @@ class StreamSummary:
         self.active_replicas = active_replicas
         self.policy = policy
         return self
+
+    # -- merging ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no request has been folded in yet.
+
+        An empty summary is the merge identity: it contributes no
+        classes, no replicas, and no assignments.
+        """
+        return not self._classes
+
+    def _check_mergeable(self, other: "StreamSummary") -> None:
+        for attr in ("platform", "slo_ms", "scheduler", "batcher", "band_base"):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if mine != theirs:
+                raise ServingError(
+                    f"cannot merge summaries with different {attr}: "
+                    f"{mine!r} vs {theirs!r}"
+                )
+
+    def merge(self, *others: "StreamSummary") -> "StreamSummary":
+        """Combine summaries of disjoint sub-streams into one report.
+
+        This is what makes :class:`StreamSummary` the unit of *sharded*
+        simulation (:mod:`repro.serving.parallel`): run one event loop
+        per shard, summarize each shard online, then reassemble.  The
+        operation is associative and never mutates its inputs, so shard
+        results can be merged in any grouping (a seeded fuzz test pins
+        this over random splits).  All inputs must share the stream
+        configuration (platform, scheduler, batcher, SLO, band base).
+
+        Counters and sums (``n_requests``, SLO misses, batch sizes,
+        padding FLOPs) add exactly.  Per-class reservoirs concatenate
+        while the combined class stays within
+        :data:`EXACT_SAMPLE_CAP` and spill into the (bucket-wise
+        additive) log histogram beyond it — the same promotion rule a
+        single-stream accumulator applies, so the merged quantile state
+        equals the single-process run's.  Replica accounting
+        concatenates: shard *i*'s replicas follow shard *i-1*'s in
+        ``per_replica_counts``, and ``replicas``/``active_replicas``
+        sum.  Empty summaries (no observed requests) are merge
+        identities.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine, uniform_arrivals
+            >>> from repro.workloads.deepbench import task
+            >>> t = task("lstm", 512, 25)
+            >>> def run(n, start):
+            ...     return ServingEngine("gpu").serve_stream(
+            ...         uniform_arrivals(t, rate_per_s=100, n_requests=n,
+            ...                          start_s=start),
+            ...         slo_ms=5.0, mode="summary")
+            >>> merged = run(30, 0.0).merge(run(20, 1.7))
+            >>> (merged.n_requests, merged.n_replicas)
+            (50, 2)
+        """
+        merged = StreamSummary(
+            self.platform,
+            slo_ms=self.slo_ms,
+            scheduler=self.scheduler,
+            batcher=self.batcher,
+            band_base=self.band_base,
+        )
+        parts = (self, *others)
+        events: list = []
+        policies = set()
+        replicas = active = 0
+        counts: list[int] = []
+        for part in parts:
+            self._check_mergeable(part)
+            for key, acc in part._classes.items():
+                mine = merged._classes.get(key)
+                if mine is None:
+                    merged._classes[key] = acc.clone()
+                else:
+                    mine.absorb(acc)
+            events.extend(part.scale_events)
+            policies.add(part.policy)
+            if not part.is_empty:
+                replicas += part.replicas
+                active += part.active_replicas
+                counts.extend(part.per_replica_counts)
+        merged._replica_counts = counts
+        merged.replicas = max(replicas, 1)
+        merged.active_replicas = max(active, 1)
+        merged.scale_events = tuple(sorted(events, key=lambda e: e.time_s))
+        merged.policy = policies.pop() if len(policies) == 1 else None
+        return merged
 
     # -- folded counters --------------------------------------------------
 

@@ -64,6 +64,8 @@ __all__ = [
     "record_trace",
     "replay_trace",
     "iter_trace",
+    "request_to_json",
+    "request_from_json",
 ]
 
 #: Chunk size for vectorized lazy RNG draws: big enough to amortize the
@@ -678,6 +680,82 @@ def mix(
 _TRACE_VERSION = 2
 
 
+def request_to_json(req: ServeRequest) -> dict:
+    """One request as a trace-schema dict (the JSONL wire format).
+
+    The same schema serves two transports: trace files
+    (:func:`record_trace`) and the live server's socket protocol
+    (:class:`~repro.serving.server.ServingServer`) — a recorded trace
+    can be replayed against a socket with no translation.
+
+    Example::
+
+        >>> from repro.serving import ServeRequest, request_to_json
+        >>> from repro.workloads.deepbench import task
+        >>> rec = request_to_json(ServeRequest(task=task("lstm", 512, 25)))
+        >>> (rec["v"], rec["kind"], rec["hidden"], rec["tenant"])
+        (2, 'lstm', 512, 'default')
+    """
+    return {
+        "v": _TRACE_VERSION,
+        "kind": req.task.kind,
+        "hidden": req.task.hidden,
+        "timesteps": req.task.timesteps,
+        "layers": req.task.layers,
+        "decoder_timesteps": req.task.decoder_timesteps,
+        "in_table6": req.task.in_table6,
+        "arrival_s": req.arrival_s,
+        "request_id": req.request_id,
+        "tenant": req.tenant,
+        "priority": req.priority,
+        "slo_ms": req.slo_ms,
+    }
+
+
+def request_from_json(rec: dict, *, where: str = "request record") -> ServeRequest:
+    """Parse one trace-schema dict back into a :class:`ServeRequest`.
+
+    The inverse of :func:`request_to_json`, shared by trace replay and
+    the live server.  ``where`` names the source in error messages
+    (trace line, socket peer).  Raises
+    :class:`~repro.errors.ServingError` on malformed records.
+
+    Example::
+
+        >>> from repro.serving import ServeRequest, request_from_json
+        >>> from repro.serving import request_to_json
+        >>> from repro.workloads.deepbench import task
+        >>> req = ServeRequest(task=task("gru", 256, 50), tenant="asr")
+        >>> request_from_json(request_to_json(req)) == req
+        True
+    """
+    try:
+        if rec.get("batch", 1) != 1:
+            # v1 recorded the (removed, always-1) RNNTask.batch field.
+            raise ServingError(
+                f"{where} carries batch={rec['batch']}; per-request "
+                f"batch sizes were never supported — batching is a "
+                f"serving policy, not a task attribute"
+            )
+        return ServeRequest(
+            task=RNNTask(
+                rec["kind"],
+                rec["hidden"],
+                rec["timesteps"],
+                layers=rec.get("layers", 1),
+                decoder_timesteps=rec.get("decoder_timesteps", 0),
+                in_table6=rec.get("in_table6", True),
+            ),
+            arrival_s=rec["arrival_s"] if rec.get("arrival_s") is not None else 0.0,
+            request_id=rec.get("request_id", 0),
+            tenant=rec.get("tenant", "default"),
+            priority=rec.get("priority", 0),
+            slo_ms=rec.get("slo_ms"),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ServingError(f"bad {where}: {exc}") from exc
+
+
 def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
     """Write a stream to a JSONL trace file (one request per line).
 
@@ -707,24 +785,7 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
         with tmp.open("w") as handle:
             for req in requests:
                 handle.write(
-                    json.dumps(
-                        {
-                            "v": _TRACE_VERSION,
-                            "kind": req.task.kind,
-                            "hidden": req.task.hidden,
-                            "timesteps": req.task.timesteps,
-                            "layers": req.task.layers,
-                            "decoder_timesteps": req.task.decoder_timesteps,
-                            "in_table6": req.task.in_table6,
-                            "arrival_s": req.arrival_s,
-                            "request_id": req.request_id,
-                            "tenant": req.tenant,
-                            "priority": req.priority,
-                            "slo_ms": req.slo_ms,
-                        },
-                        sort_keys=True,
-                    )
-                    + "\n"
+                    json.dumps(request_to_json(req), sort_keys=True) + "\n"
                 )
                 n += 1
         if not n:
@@ -737,33 +798,12 @@ def record_trace(requests: Iterable[ServeRequest], path: str | Path) -> Path:
 
 
 def _parse_trace_line(line: str, lineno: int, path: Path) -> ServeRequest:
+    where = f"trace line {lineno} in {path}"
     try:
         rec = json.loads(line)
-        if rec.get("batch", 1) != 1:
-            # v1 recorded the (removed, always-1) RNNTask.batch field.
-            raise ServingError(
-                f"trace line {lineno} in {path} carries batch="
-                f"{rec['batch']}; per-request batch sizes were never "
-                f"supported — batching is a serving policy, not a "
-                f"task attribute"
-            )
-        return ServeRequest(
-            task=RNNTask(
-                rec["kind"],
-                rec["hidden"],
-                rec["timesteps"],
-                layers=rec.get("layers", 1),
-                decoder_timesteps=rec.get("decoder_timesteps", 0),
-                in_table6=rec.get("in_table6", True),
-            ),
-            arrival_s=rec["arrival_s"],
-            request_id=rec["request_id"],
-            tenant=rec.get("tenant", "default"),
-            priority=rec.get("priority", 0),
-            slo_ms=rec.get("slo_ms"),
-        )
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
-        raise ServingError(f"bad trace line {lineno} in {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ServingError(f"bad {where}: {exc}") from exc
+    return request_from_json(rec, where=where)
 
 
 def _iter_trace(path: Path) -> Iterator[ServeRequest]:

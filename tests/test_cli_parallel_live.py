@@ -1,0 +1,158 @@
+"""CLI coverage for the parallel-shard and live-serving frontends.
+
+`repro serve --shards/--workers/--shard-by` (process-pool replay) and
+`--clients/--listen` (the live asyncio server) ride the same table
+pipeline as the classic stream simulation; these tests pin the flag
+validation, the table output, and the parity between a sharded run and
+the equivalent round-robin fleet at the CLI level.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.harness.cli import main
+from repro.serving import ServeRequest, request_to_json
+from repro.workloads.deepbench import task
+
+
+def _serve(*extra):
+    return [
+        "serve", "lstm", "512", "--platform", "gpu",
+        "--rate", "2000", "--requests", "300", "--slo-ms", "5", *extra,
+    ]
+
+
+class TestShardedCLI:
+    def test_shards_table(self, capsys):
+        assert main(_serve("--shards", "2", "--workers", "1")) == 0
+        out = capsys.readouterr().out
+        assert "2 replica shard(s)" in out
+        assert "summary mode" in out
+
+    def test_shards_row_matches_round_robin_fleet(self, capsys):
+        assert main(_serve("--shards", "2", "--workers", "1")) == 0
+        sharded = capsys.readouterr().out
+        assert main(
+            _serve("--stream", "--replicas", "2", "--policy", "round-robin",
+                   "--mode", "summary")
+        ) == 0
+        fleet = capsys.readouterr().out
+        # Same columns, same numbers: only the titles differ.
+        assert sharded.splitlines()[-1] == fleet.splitlines()[-1]
+
+    def test_tenant_sharded_mix(self, capsys):
+        assert main([
+            "serve", "--platform", "gpu", "--rate", "2000",
+            "--requests", "300", "--slo-ms", "5", "--shards", "2",
+            "--shard-by", "tenant", "--workers", "1",
+            "--mix", "lstm:512,gru:512",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 tenant shard(s)" in out
+        assert "Per-tenant breakdown (gpu)" in out
+
+    def test_sharded_trace_replay(self, capsys, tmp_path):
+        trace = str(tmp_path / "stream.jsonl")
+        assert main(_serve("--stream", "--record-trace", trace)) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--platform", "gpu", "--slo-ms", "5",
+            "--trace", trace, "--shards", "2", "--workers", "2",
+        ]) == 0
+        assert "2 replica shard(s)" in capsys.readouterr().out
+
+
+class TestFlagValidation:
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (("--shards", "0"), "--shards must be >= 1"),
+            (("--workers", "2"), "add --shards"),
+            (("--shards", "2", "--mode", "full"), "drop --mode full"),
+            (("--shards", "2", "--listen", "127.0.0.1:0"), "pick one frontend"),
+            (("--listen", "nonsense"), "bad --listen spec"),
+            (("--listen", "unix:"), "needs a socket path"),
+            (("--clients", "0"), "--clients must be >= 1"),
+        ],
+    )
+    def test_rejected_combinations(self, capsys, extra, message):
+        assert main(_serve(*extra)) == 1
+        assert message in capsys.readouterr().err
+
+    def test_listen_forever_needs_one_platform(self, capsys):
+        assert main([
+            "serve", "lstm", "512", "--listen", "127.0.0.1:0",
+        ]) == 1
+        assert "needs one platform" in capsys.readouterr().err
+
+
+class TestLiveClients:
+    def test_in_process_clients(self, capsys):
+        assert main(_serve("--requests", "120", "--clients", "8")) == 0
+        out = capsys.readouterr().out
+        assert "Live serving" in out
+        assert "8 in-process client(s)" in out
+        assert "120" in out and "yes" in out
+
+    def test_socket_clients_tcp(self, capsys):
+        assert main(
+            _serve("--requests", "60", "--clients", "4",
+                   "--listen", "127.0.0.1:0")
+        ) == 0
+        assert "4 socket client(s)" in capsys.readouterr().out
+
+    def test_socket_clients_unix(self, capsys, tmp_path):
+        path = str(tmp_path / "live.sock")
+        assert main(
+            _serve("--requests", "40", "--clients", "2",
+                   "--listen", f"unix:{path}")
+        ) == 0
+        assert "2 socket client(s)" in capsys.readouterr().out
+        assert not os.path.exists(path)  # drained server removed the socket
+
+    def test_batched_live_serving(self, capsys):
+        assert main(
+            _serve("--requests", "80", "--clients", "8",
+                   "--batcher", "size-cap", "--max-batch", "4")
+        ) == 0
+        out = capsys.readouterr().out
+        assert "size-cap batching" in out
+        assert "mean batch" in out
+
+
+class TestListenForever:
+    def test_serves_until_interrupt_then_drains(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The real-time `--listen` frontend, end to end in-process: the
+        idle-loop sleep is hijacked to act as one socket client and then
+        deliver the Ctrl-C, so the command binds, serves a request over
+        the UNIX socket, drains, and reports what it served."""
+        path = str(tmp_path / "forever.sock")
+        real_sleep = asyncio.sleep
+
+        async def client_then_interrupt(seconds, *a, **kw):
+            if seconds != 3600:  # worker dwells etc. sleep normally
+                return await real_sleep(seconds, *a, **kw)
+            reader, writer = await asyncio.open_unix_connection(path)
+            req = ServeRequest(task=task("lstm", 512, 25), request_id=1)
+            writer.write((json.dumps(request_to_json(req)) + "\n").encode())
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            assert reply["ok"] is True
+            writer.close()
+            await writer.wait_closed()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(asyncio, "sleep", client_then_interrupt)
+        assert main([
+            "serve", "lstm", "512", "--platform", "gpu", "--slo-ms", "5",
+            "--listen", f"unix:{path}",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "serving gpu on" in captured.err
+        assert "live server drained: 1 served" in captured.out
+        assert not os.path.exists(path)

@@ -14,6 +14,7 @@ Run from the repo root (CI does):
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -36,6 +37,31 @@ REQUIRED_LINKS = {
         "docs/CLI.md",
     ],
 }
+
+#: docs/CLI.md must document every long option `repro serve` accepts —
+#: the flags are read off the live argparse parser, so a new flag cannot
+#: land without a reference row.
+CLI_DOC = REPO / "docs" / "CLI.md"
+
+
+def serve_flags() -> list[str]:
+    """Long option strings of the ``repro serve`` subcommand."""
+    src = REPO / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.harness.cli import build_parser
+
+    subparsers = next(
+        action
+        for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return sorted(
+        option
+        for action in subparsers.choices["serve"]._actions
+        for option in action.option_strings
+        if option.startswith("--") and option != "--help"
+    )
 
 
 def main() -> int:
@@ -73,6 +99,14 @@ def main() -> int:
             if link not in text:
                 failures.append(f"{rel} does not link to {link}")
 
+    flags = serve_flags()
+    cli_text = CLI_DOC.read_text() if CLI_DOC.exists() else ""
+    for flag in flags:
+        if flag not in cli_text:
+            failures.append(
+                f"docs/CLI.md does not document the `repro serve` flag {flag}"
+            )
+
     if failures:
         print("docs-check FAILED:")
         for failure in failures:
@@ -80,6 +114,7 @@ def main() -> int:
         return 1
     print(
         f"docs-check ok: {n_modules} serving/workload modules documented, "
+        f"{len(flags)} serve flags referenced, "
         f"{len(REQUIRED_LINKS)} docs cross-linked"
     )
     return 0
