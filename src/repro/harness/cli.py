@@ -108,10 +108,33 @@ def _validate_serve_flags(args: argparse.Namespace) -> None:
                 "materialize every response; drop --mode full (sharded "
                 "runs default to --mode summary)"
             )
+    if args.timeout_ms is not None and args.timeout_ms <= 0:
+        raise ServingError("--timeout-ms must be positive")
+    if args.hedge_ms is not None and args.hedge_ms <= 0:
+        raise ServingError("--hedge-ms must be positive")
+    if args.retries < 0:
+        raise ServingError("--retries must be >= 0")
+    if args.retries and args.timeout_ms is None:
+        raise ServingError(
+            "--retries re-dispatches timed-out requests; add --timeout-ms"
+        )
+    faulty = args.faults != "none" or args.hedge_ms is not None or args.retries
+    if faulty and (args.listen or args.clients is not None):
+        raise ServingError(
+            "--faults/--retries/--hedge-ms inject into the simulated "
+            "stream; the live frontend honors only --timeout-ms"
+        )
     if args.mode is None:
         args.mode = "summary" if args.shards is not None else "full"
-    if args.shards is not None or args.listen or args.clients is not None:
-        # The parallel and live frontends are stream serving by definition.
+    if (
+        args.shards is not None
+        or args.listen
+        or args.clients is not None
+        or faulty
+        or args.timeout_ms is not None
+    ):
+        # The parallel, live, and fault-injected frontends are stream
+        # serving by definition.
         args.stream = True
 
 
@@ -408,6 +431,13 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     if args.replicas < 1:
         raise ServingError("--replicas must be >= 1")
     autoscaler = _parse_autoscale(args.autoscale) if args.autoscale else None
+    fault_kwargs = dict(
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        timeout_ms=args.timeout_ms,
+        retries=args.retries,
+        hedge_ms=args.hedge_ms,
+    )
     make_arrivals, desc = _build_stream(args, t)
     # Summary mode streams lazily, which requires (and all built-in
     # sources guarantee) time-ordered input with monotone ids.
@@ -434,6 +464,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 max_batch=args.max_batch,
                 slo_ms=args.slo_ms,
                 autoscaler=autoscaler,
+                **fault_kwargs,
             )
         elif args.replicas > 1 or autoscaler is not None:
             server = Fleet(name, replicas=args.replicas, policy=args.policy)
@@ -446,6 +477,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 autoscaler=autoscaler,
                 mode=args.mode,
                 presorted=presorted,
+                **fault_kwargs,
             )
         else:
             report = ServingEngine(name).serve_stream(
@@ -456,6 +488,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 max_batch=args.max_batch,
                 mode=args.mode,
                 presorted=presorted,
+                **fault_kwargs,
             )
         n_requests = report.n_requests
         row = [
@@ -477,6 +510,16 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
             breakdowns.append(_tenant_breakdown_table(name, report, args.slo_ms))
         if report.scale_events:
             breakdowns.append(_scale_events_table(name, report))
+        if report.fault_stats.any:
+            s = report.fault_stats
+            breakdowns.append(
+                f"[{name} fault injection ({report.faults}): "
+                f"crashes {s.crashes} "
+                f"(downtime {s.downtime_s * 1e3:.3f} ms), "
+                f"stragglers {s.stragglers}, preemptions {s.preemptions}, "
+                f"retries {s.retries}, timeouts {s.timeouts}, "
+                f"hedges {s.hedges} ({s.hedge_wins} won)]"
+            )
     title = (
         f"Streaming {desc} "
         f"({n_requests} requests, {args.replicas} replica(s), {args.policy}, "
@@ -488,6 +531,8 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
         title += f", autoscale {args.autoscale}"
     if args.shards is not None:
         title += f", {args.shards} {args.shard_by} shard(s)"
+    if args.faults != "none":
+        title += f", faults {args.faults}"
     if args.mode == "summary":
         title += ", summary mode"
     title += ")"
@@ -596,6 +641,7 @@ def _serve_live_table(args: argparse.Namespace, t, names: list[str]) -> str:
             batcher=args.batcher,
             max_batch=args.max_batch,
             slo_ms=args.slo_ms,
+            timeout_ms=args.timeout_ms,
         )
         await server.start()
         bound = None
@@ -666,6 +712,7 @@ def _serve_listen_forever(args: argparse.Namespace, t) -> str:
             max_batch=args.max_batch,
             slo_ms=args.slo_ms,
             clock=RealClock(),
+            timeout_ms=args.timeout_ms,
         )
         await server.start()
         box["server"] = server
@@ -752,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.serving import (
         SCHEDULING_POLICIES,
         available_batchers,
+        available_fault_policies,
         available_platforms,
         available_schedulers,
     )
@@ -883,6 +931,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MIN:MAX",
         help="autoscale fleet replicas between MIN and MAX against queue "
         "depth and SLO pressure (stream mode; starts at MIN)",
+    )
+    serve.add_argument(
+        "--faults",
+        choices=available_fault_policies(),
+        default="none",
+        help="inject seeded hardware faults into the simulated stream: "
+        "replica crashes ('crash'), heavy-tail stragglers "
+        "('straggler'), priority preemption ('preempt'), or all three "
+        "('chaos'); 'none' is bit-identical to no injection at all "
+        "(stream mode)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault timeline: the same seed replays the "
+        "same crashes and stragglers run after run",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-attempt request timeout: a stream request still "
+        "unfinished this long after arrival is re-dispatched "
+        "(--retries) or recorded as a timeout; with --clients/--listen "
+        "it bounds each live submit in wall time instead",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-dispatch budget after a --timeout-ms expiry before a "
+        "request is recorded as a timeout (stream mode)",
+    )
+    serve.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        help="launch a duplicate copy of any request still unfinished "
+        "this long after arrival; first completion wins (stream mode)",
     )
     serve.add_argument(
         "--mix",

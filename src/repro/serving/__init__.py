@@ -23,6 +23,11 @@ way real accelerator deployments are:
   once, steady-state per item).
 * :mod:`repro.serving.autoscaler` — queue-depth/SLO-driven elastic
   replica scaling for fleet streams, with a :class:`ScaleEvent` log.
+* :mod:`repro.serving.faults` — the :class:`FaultPolicy` registry:
+  seeded replica crash/recovery, heavy-tail stragglers, and priority
+  preemption injected into any stream simulation, plus per-request
+  timeouts, bounded retries, and hedged duplicates; ``"none"`` is
+  bit-identical to no injection at all.
 * :mod:`repro.serving.events` — the shared discrete-event loop behind
   every stream simulation: arrivals consumed incrementally (lazy
   generators and traces never materialize), no-heap fast paths for the
@@ -96,6 +101,18 @@ from repro.serving.events import (
     normalize_arrivals,
     run_stream,
 )
+from repro.serving.faults import (
+    ChaosFaults,
+    CrashFaults,
+    FaultPolicy,
+    NoFaults,
+    PreemptFaults,
+    StragglerFaults,
+    available_fault_policies,
+    get_fault_policy,
+    make_fault_policy,
+    register_fault_policy,
+)
 from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
 from repro.serving.platform import (
     Platform,
@@ -117,7 +134,7 @@ from repro.serving.parallel import (
     shard_seed,
     split_requests,
 )
-from repro.serving.result import ServingResult
+from repro.serving.result import FaultStats, ServingResult
 from repro.serving.server import (
     Clock,
     RealClock,
@@ -215,6 +232,17 @@ __all__ = [
     "Autoscaler",
     "ScaleDecision",
     "ScaleEvent",
+    "FaultPolicy",
+    "FaultStats",
+    "NoFaults",
+    "CrashFaults",
+    "StragglerFaults",
+    "PreemptFaults",
+    "ChaosFaults",
+    "register_fault_policy",
+    "get_fault_policy",
+    "available_fault_policies",
+    "make_fault_policy",
     "StreamOutcome",
     "Fleet",
     "FleetReport",

@@ -167,18 +167,38 @@ class Autoscaler:
         Returns:
             A :class:`ScaleDecision` with a target different from
             ``active``, or ``None`` to leave the fleet alone.
+
+        Deciding is side-effect free: the cooldown clock only advances
+        when the caller actually applies the resize and says so via
+        :meth:`note_applied`.  (It used to be charged here, so a
+        decision the loop could not honor — scale-up with no replica
+        factory — silently suppressed every later decision for a
+        cooldown window.)
         """
         if now - self._last_event_s < self.cooldown_s:
             return None
-        decision = self._evaluate(
+        return self._evaluate(
             active=active,
             queue_depth=queue_depth,
             projected_wait_s=projected_wait_s,
             slo_ms=slo_ms,
         )
-        if decision is not None:
-            self._last_event_s = now
-        return decision
+
+    def note_applied(self, now: float) -> None:
+        """Start the cooldown window: the fleet resized at ``now``.
+
+        Example::
+
+            >>> from repro.serving import Autoscaler
+            >>> scaler = Autoscaler(min_replicas=1, max_replicas=4,
+            ...                     cooldown_s=1.0)
+            >>> scaler.reset()
+            >>> scaler.note_applied(0.0)
+            >>> scaler.decide(now=0.5, active=1, queue_depth=99,
+            ...               projected_wait_s=0.0, slo_ms=None) is None
+            True
+        """
+        self._last_event_s = now
 
     def _evaluate(
         self,

@@ -38,9 +38,10 @@ from repro.errors import ServingError
 from repro.serving.autoscaler import ScaleEvent
 from repro.serving.batching import Batcher, make_batcher
 from repro.serving.events import run_stream, single_replica_dispatch
+from repro.serving.faults import FaultPolicy, make_fault_policy
 from repro.serving.platform import Platform, PreparedModel, get_platform
 from repro.serving.request import ServeRequest, ServeResponse
-from repro.serving.result import ServingResult
+from repro.serving.result import FaultStats, ServingResult
 from repro.serving.scheduler import Scheduler, make_scheduler
 # ``percentile`` is shared with the O(1) summary so both
 # representations interpolate identically.
@@ -122,6 +123,10 @@ class StreamReport:
     scheduler: str = "fifo"
     batcher: str = "none"
     scale_events: tuple[ScaleEvent, ...] = field(default=(), repr=False)
+    #: Fault policy the stream ran under (``"none"`` = perfect machine).
+    faults: str = "none"
+    #: Injected-fault counters (all zero outside fault-injected runs).
+    fault_stats: FaultStats = field(default=FaultStats(), repr=False)
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -321,6 +326,7 @@ class StreamReport:
             slo_ms=self.slo_ms,
             scheduler=self.scheduler,
             batcher=self.batcher,
+            faults=self.faults,
         )
 
     def per_tenant(self) -> dict[str, "StreamReport"]:
@@ -336,6 +342,31 @@ class StreamReport:
         for r in self.responses:
             groups.setdefault(r.request.priority, []).append(r)
         return {p: self._subset(groups[p]) for p in sorted(groups)}
+
+    @property
+    def outcomes(self) -> tuple[str, ...]:
+        """Sorted outcomes present (``("ok",)`` outside fault runs)."""
+        return tuple(sorted({r.outcome for r in self.responses}))
+
+    def per_outcome(self) -> dict[str, "StreamReport"]:
+        """Sub-reports keyed by outcome: how fault-injected requests
+        left the system (``"ok"``/``"retried"``/``"hedged"``/
+        ``"timeout"``); counts always sum to ``n_requests``.
+
+        Example::
+
+            >>> from repro.serving import ServingEngine, uniform_arrivals
+            >>> from repro.workloads.deepbench import task
+            >>> report = ServingEngine("gpu").serve_stream(
+            ...     uniform_arrivals(task("lstm", 512, 25),
+            ...                      rate_per_s=100, n_requests=10))
+            >>> sorted(report.per_outcome()) == ["ok"]
+            True
+        """
+        groups: dict[str, list[ServeResponse]] = {}
+        for r in self.responses:
+            groups.setdefault(r.outcome, []).append(r)
+        return {o: self._subset(groups[o]) for o in sorted(groups)}
 
 
 class ServingEngine:
@@ -571,6 +602,11 @@ class ServingEngine:
         max_batch: int | None = None,
         mode: str = "full",
         presorted: bool = False,
+        faults: str | FaultPolicy | Callable[[], FaultPolicy] = "none",
+        fault_seed: int = 0,
+        timeout_ms: float | None = None,
+        retries: int = 0,
+        hedge_ms: float | None = None,
     ) -> "StreamReport | StreamSummary":
         """Run a timestamped stream through a single-server queue.
 
@@ -602,6 +638,17 @@ class ServingEngine:
         traces), letting the loop consume a lazy generator without ever
         materializing it.  Merged multi-stream inputs must carry
         globally unique request ids either way (use ``mix``).
+
+        ``faults`` injects unreliable hardware (see
+        :mod:`repro.serving.faults`): a registered policy name
+        (``"crash"``, ``"straggler"``, ``"preempt"``, ``"chaos"``), a
+        policy instance, or a factory.  ``fault_seed`` makes the whole
+        fault timeline reproducible.  ``timeout_ms``/``retries`` bound
+        each attempt's queue-to-finish time and re-dispatch on expiry;
+        ``hedge_ms`` launches a duplicate copy of any request still
+        unfinished after that long (first completion wins).  With the
+        default ``"none"`` policy and no timeout/hedge the simulation
+        is bit-identical to the fault-free path.
         """
         sched = make_scheduler(scheduler)
         options = {} if max_batch is None else {"max_batch": max_batch}
@@ -610,14 +657,33 @@ class ServingEngine:
             raise ServingError(
                 f"unknown stream mode {mode!r}; expected 'full' or 'summary'"
             )
+        policy = make_fault_policy(faults)
+        faultless = (
+            policy.name == "none"
+            and timeout_ms is None
+            and hedge_ms is None
+            and retries == 0  # so a timeout-less retries still validates
+        )
+        fault_kwargs = (
+            {}
+            if faultless
+            else {
+                "faults": policy,
+                "fault_seed": fault_seed,
+                "timeout_ms": timeout_ms,
+                "retries": retries,
+                "hedge_ms": hedge_ms,
+            }
+        )
         if mode == "summary":
             summary = StreamSummary(
                 self.platform_name,
                 slo_ms=slo_ms,
                 scheduler=sched.name,
                 batcher=batch_policy.name,
+                faults=policy.name,
             )
-            run_stream(
+            outcome = run_stream(
                 arrivals,
                 engines=(self,),
                 schedulers=(sched,),
@@ -626,8 +692,9 @@ class ServingEngine:
                 batchers=(batch_policy,),
                 presorted=presorted,
                 summary=summary,
+                **fault_kwargs,
             )
-            return summary.finalize()
+            return summary.finalize(fault_stats=outcome.fault_stats)
         outcome = run_stream(
             arrivals,
             engines=(self,),
@@ -636,6 +703,7 @@ class ServingEngine:
             slo_ms=slo_ms,
             batchers=(batch_policy,),
             presorted=presorted,
+            **fault_kwargs,
         )
         return StreamReport(
             platform=self.platform_name,
@@ -643,4 +711,6 @@ class ServingEngine:
             slo_ms=slo_ms,
             scheduler=sched.name,
             batcher=batch_policy.name,
+            faults=policy.name,
+            fault_stats=outcome.fault_stats,
         )

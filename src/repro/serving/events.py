@@ -17,6 +17,16 @@ dispatcher).  Three event kinds flow through the simulation:
   equal timestamps so a request arriving exactly at the deadline still
   joins the batch.
 
+Four more kinds exist only in the fault-aware loop (entered when a
+:class:`~repro.serving.faults.FaultPolicy` other than ``"none"`` — or a
+timeout/hedge — is configured): ``CRASH``/``RECOVER`` bracket a
+replica's downtime (the in-flight batch aborts and requeues; recovery
+rebuilds the engine through the replica factory, re-paying compile
+warmup), ``TIMEOUT`` expires a request attempt (bounded retries, then a
+``"timeout"`` outcome), and ``HEDGE`` dispatches a duplicate copy whose
+first completion wins.  ``faults="none"`` never enters that loop, so
+every existing timeline stays bit-identical and pays zero overhead.
+
 The loop is O(n log n) in the number of requests and — this is the
 million-request point — **O(1) in memory** along three axes:
 
@@ -51,7 +61,9 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 from repro.errors import ServingError
 from repro.serving.autoscaler import Autoscaler, ScaleEvent
 from repro.serving.batching import Batcher, NoneBatcher
+from repro.serving.faults import FaultPolicy, NoFaults
 from repro.serving.request import ServeRequest, ServeResponse
+from repro.serving.result import FaultStats
 from repro.serving.scheduler import FIFOScheduler, QueuedRequest, Scheduler
 from repro.workloads.deepbench import RNNTask
 
@@ -70,7 +82,11 @@ __all__ = [
 #: Event kinds; FREE sorts before ARRIVAL at equal timestamps so an
 #: arrival always sees the replica's settled state, and LAUNCH sorts
 #: after ARRIVAL so a same-instant arrival can join the launching batch.
-_FREE, _ARRIVAL, _LAUNCH = 0, 1, 2
+#: RECOVER (fault loop only) sorts with FREE — a replica recovering at
+#: an arrival's instant may take it — while CRASH/TIMEOUT/HEDGE sort
+#: after ARRIVAL, so a same-instant arrival is admitted before the
+#: fault strikes.
+_FREE, _RECOVER, _ARRIVAL, _LAUNCH, _CRASH, _TIMEOUT, _HEDGE = range(7)
 
 _INF = float("inf")
 
@@ -141,6 +157,8 @@ class StreamOutcome:
             replicas included) — the peak capacity the run used.
         active_replicas: Replicas still active when the stream drained
             (equal to ``n_replicas`` unless the autoscaler scaled down).
+        fault_stats: Injected-fault counters (all zero outside the
+            fault-aware loop).
 
     Example::
 
@@ -163,6 +181,7 @@ class StreamOutcome:
     scale_events: tuple[ScaleEvent, ...] = ()
     n_replicas: int = 1
     active_replicas: int = 1
+    fault_stats: FaultStats = FaultStats()
 
 
 def _presorted_stream(
@@ -273,6 +292,11 @@ def run_stream(
     replica_factory: ReplicaFactory | None = None,
     presorted: bool = False,
     summary: "StreamSummary | None" = None,
+    faults: FaultPolicy | None = None,
+    fault_seed: int = 0,
+    timeout_ms: float | None = None,
+    retries: int = 0,
+    hedge_ms: float | None = None,
 ) -> StreamOutcome:
     """Simulate a timestamped stream over one or more replicas.
 
@@ -302,6 +326,20 @@ def run_stream(
             sink.  When given, completed requests are folded into its
             O(1) accumulators instead of being collected, and the
             returned outcome carries empty ``responses``/``assignments``.
+        faults: Optional :class:`~repro.serving.faults.FaultPolicy`
+            instance; anything other than ``"none"`` routes the stream
+            through the fault-aware loop.  The loop calls
+            ``faults.reset(fault_seed)``, so a given seed reproduces the
+            same crash/straggler timeline on every run.
+        fault_seed: Seed for the fault policy's deterministic draws.
+        timeout_ms: Per-attempt latency budget; an attempt not finished
+            within it is cancelled and (with ``retries``) re-dispatched,
+            else answered with outcome ``"timeout"``.
+        retries: Re-dispatches allowed after timeouts (needs
+            ``timeout_ms``).
+        hedge_ms: Dispatch a duplicate copy if the request has not
+            finished this long after arrival; first completion wins and
+            the loser is cancelled.
 
     Returns:
         A :class:`StreamOutcome`; its responses and assignments are
@@ -341,7 +379,44 @@ def run_stream(
     for replica in range(len(engine_list)):
         bind_cost(replica)
 
+    if timeout_ms is not None and timeout_ms <= 0:
+        raise ServingError("timeout_ms must be positive when set")
+    if hedge_ms is not None and hedge_ms <= 0:
+        raise ServingError("hedge_ms must be positive when set")
+    if retries < 0:
+        raise ServingError("retries must be >= 0")
+    if retries > 0 and timeout_ms is None:
+        raise ServingError("retries need timeout_ms to be set")
+
     stream = normalize_arrivals(arrivals, presorted=presorted)
+
+    # Any real fault policy — or a timeout/hedge, which are loop
+    # features independent of the policy — routes through the separate
+    # fault-aware loop.  ``faults="none"`` alone does not: the perfect-
+    # machine paths below run untouched, bit-identical and overhead-free.
+    if (
+        (faults is not None and faults.name != "none")
+        or timeout_ms is not None
+        or hedge_ms is not None
+    ):
+        policy = faults if faults is not None else NoFaults()
+        policy.reset(fault_seed)
+        return _run_faulty(
+            stream,
+            engine_list,
+            scheduler_list,
+            batcher_list,
+            bind_cost,
+            dispatch,
+            slo_ms,
+            autoscaler,
+            replica_factory,
+            summary,
+            policy,
+            timeout_ms,
+            retries,
+            hedge_ms,
+        )
 
     # A single replica whose batcher never holds (the base
     # ``hold_until`` is un-overridden) needs no event heap: completions
@@ -679,6 +754,9 @@ def _run_heap(
         while len(engine_list) < decision.target:
             add_replica()
         active = decision.target
+        # Cooldown is charged only here, once the resize actually took
+        # effect — decide() itself is side-effect free.
+        autoscaler.note_applied(now)
         scale_events.append(
             ScaleEvent(
                 time_s=now,
@@ -826,4 +904,491 @@ def _run_heap(
         scale_events=tuple(scale_events),
         n_replicas=len(engine_list),
         active_replicas=active,
+    )
+
+
+class _Flight:
+    """One request's life inside the fault-aware loop.
+
+    A request may have several live *copies* (retries, hedges, requeues
+    after a crash or preemption) in queues and in flight at once; the
+    flight is the single source of truth for whether it already
+    resolved, which attempt is current, and the straggler factor drawn
+    for it.  Deleted from the pending map on resolution, so the loop's
+    memory stays O(in-system), not O(stream).
+    """
+
+    __slots__ = (
+        "index",
+        "request",
+        "result",
+        "factor",
+        "deadline_s",
+        "attempts",
+        "hedged",
+        "done",
+    )
+
+    def __init__(
+        self, index: int, request: ServeRequest, factor: float, deadline_s: float
+    ) -> None:
+        self.index = index
+        self.request = request
+        self.result = None  # batch-1 result, filled at first dispatch
+        self.factor = factor
+        self.deadline_s = deadline_s
+        self.attempts = 1
+        self.hedged = False
+        self.done = False
+
+
+def _run_faulty(
+    stream: Iterable[ServeRequest],
+    engine_list: "list[ServingEngine]",
+    scheduler_list: "list[Scheduler]",
+    batcher_list: "list[Batcher]",
+    bind_cost: Callable[[int], None],
+    dispatch: "Dispatcher | StreamDispatcher",
+    slo_ms: float | None,
+    autoscaler: Autoscaler | None,
+    replica_factory: ReplicaFactory | None,
+    summary: "StreamSummary | None",
+    policy: FaultPolicy,
+    timeout_ms: float | None,
+    retries: int,
+    hedge_ms: float | None,
+) -> StreamOutcome:
+    """The unreliable-hardware loop: crashes, stragglers, timeouts,
+    hedges, and preemption on top of the general heap simulation.
+
+    Never entered for ``faults="none"`` without a timeout/hedge, so it
+    adds zero cost to the perfect-machine paths.  Structure mirrors
+    :func:`_run_heap` with three extensions:
+
+    * every scheduler entry is a *copy* of a :class:`_Flight`; stale
+      copies (superseded attempts, already-resolved requests) are
+      filtered out when a batch launches or completes, which is how
+      cancellation works without reaching into scheduler internals;
+    * replicas carry a ``dead`` flag and a generation counter — bumping
+      the generation invalidates the scheduled FREE of an aborted
+      (crashed or preempted) execution, whose live members requeue;
+    * responses are recorded at completion (not launch), because only
+      then is it known which copy won.
+
+    Determinism: every policy draw hashes ``(seed, replica)`` or
+    ``(seed, request_id)``; the loop itself is a deterministic function
+    of the stream, so a seed reproduces the identical timeline across
+    runs and shard layouts.
+    """
+    collect = summary is None
+    rich = isinstance(dispatch, StreamDispatcher)
+    responses: list[ServeResponse | None] = []
+    assignments: list[int] = []
+    observe = None if collect else summary.observe_served
+    assign_note = None if collect else summary.note_assignment
+    n_start = len(engine_list)
+    work_until = [0.0] * n_start
+    busy = [False] * n_start
+    dead = [False] * n_start
+    generation = [0] * n_start
+    hold_at: list[float | None] = [None] * n_start
+    #: Per-replica in-flight execution: (live entries, start, finish,
+    #: result, batch size); None when idle/aborted.
+    inflight: list[tuple | None] = [None] * n_start
+    active = n_start
+    scale_events: list[ScaleEvent] = []
+    if autoscaler is not None:
+        autoscaler.reset()
+    if rich:
+        dispatch.resize(active, work_until)
+
+    timeout_s = None if timeout_ms is None else timeout_ms / 1e3
+    hedge_s = None if hedge_ms is None else hedge_ms / 1e3
+
+    #: request_id -> _Flight for every unresolved request.
+    pending: dict[int, _Flight] = {}
+    #: entry.seq -> (flight, attempt, is_hedge) for every live copy.
+    copy_info: dict[int, tuple[_Flight, int, bool]] = {}
+
+    n_crashes = 0
+    downtime_total = 0.0
+    n_preemptions = 0
+    n_retries = 0
+    n_timeouts = 0
+    n_hedges = 0
+    n_hedge_wins = 0
+    n_stragglers = 0
+
+    events: list[tuple[float, int, int, float]] = []
+    qseq = 0  # unique per scheduler push (copies included)
+    dseq = 0  # unique per dispatch decision (retries/hedges included)
+
+    def schedule_crash(replica: int, after_s: float) -> None:
+        nxt = policy.next_crash(replica, after_s)
+        if nxt is None:
+            return
+        crash_s, down_s = nxt
+        heapq.heappush(events, (max(crash_s, after_s), _CRASH, replica, down_s))
+
+    def add_replica(now: float) -> None:
+        if replica_factory is None:
+            raise ServingError("autoscaler needs a replica_factory to scale up")
+        engine, scheduler, batcher = replica_factory()
+        engine_list.append(engine)
+        scheduler_list.append(scheduler)
+        batcher_list.append(batcher)
+        work_until.append(0.0)
+        busy.append(False)
+        dead.append(False)
+        generation.append(0)
+        hold_at.append(None)
+        inflight.append(None)
+        replica = len(engine_list) - 1
+        bind_cost(replica)
+        schedule_crash(replica, now)
+
+    def autoscale(now: float) -> None:
+        nonlocal active
+        depth = sum(len(scheduler_list[j]) for j in range(active))
+        wait = min(max(work_until[j] - now, 0.0) for j in range(active))
+        decision = autoscaler.decide(
+            now=now,
+            active=active,
+            queue_depth=depth,
+            projected_wait_s=wait,
+            slo_ms=slo_ms,
+        )
+        if decision is None or decision.target == active:
+            return
+        while len(engine_list) < decision.target:
+            add_replica(now)
+        active = decision.target
+        autoscaler.note_applied(now)
+        scale_events.append(
+            ScaleEvent(
+                time_s=now,
+                action=decision.action,
+                replicas=active,
+                queue_depth=depth,
+                reason=decision.reason,
+            )
+        )
+        if rich:
+            dispatch.resize(active, work_until)
+
+    def record(
+        flight: _Flight,
+        result,
+        start: float,
+        finish: float,
+        size: int,
+        index: int,
+        outcome: str,
+    ) -> None:
+        req = flight.request
+        if collect:
+            responses[flight.index] = ServeResponse(
+                request=req,
+                result=result,
+                queue_delay_s=start - req.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                batch_size=size,
+                batch_index=index,
+                outcome=outcome,
+                attempts=flight.attempts,
+            )
+        else:
+            observe(req, result, start, finish, size, outcome=outcome)
+
+    def push_copy(
+        flight: _Flight, now: float, is_hedge: bool
+    ) -> tuple[int, QueuedRequest]:
+        """Dispatch one copy of a flight to a replica's ready queue."""
+        nonlocal qseq, dseq
+        req = flight.request
+        if rich:
+            replica = dispatch.choose(dseq, req)
+        else:
+            view = work_until if active == len(work_until) else work_until[:active]
+            replica = dispatch(dseq, req, view)
+        dseq += 1
+        if not 0 <= replica < active:
+            raise ServingError(f"dispatcher chose invalid replica {replica}")
+        result = engine_list[replica].result_for(req.task)
+        if flight.result is None:
+            flight.result = result
+        entry = QueuedRequest(
+            seq=qseq,
+            request=req,
+            result=result,
+            service_s=result.latency_s * flight.factor,
+            deadline_s=flight.deadline_s,
+        )
+        copy_info[qseq] = (flight, flight.attempts, is_hedge)
+        qseq += 1
+        work_until[replica] = max(now, work_until[replica]) + entry.service_s
+        if rich:
+            dispatch.assign(replica, work_until[replica])
+        scheduler_list[replica].push(entry)
+        return replica, entry
+
+    def abort_execution(replica: int, now: float) -> None:
+        """Abort the in-flight batch; live members requeue on the same
+        replica (stale copies are dropped for good)."""
+        nonlocal qseq
+        batch = inflight[replica]
+        inflight[replica] = None
+        generation[replica] += 1  # the scheduled FREE goes stale
+        busy[replica] = False
+        entries = batch[0]
+        queue = scheduler_list[replica]
+        for entry in entries:
+            flight, attempt, is_hedge = copy_info.pop(entry.seq)
+            if flight.done or flight.attempts != attempt:
+                continue
+            requeued = QueuedRequest(
+                seq=qseq,
+                request=entry.request,
+                result=entry.result,
+                service_s=entry.service_s,
+                deadline_s=entry.deadline_s,
+            )
+            copy_info[qseq] = (flight, attempt, is_hedge)
+            qseq += 1
+            queue.push(requeued)
+
+    def launch(replica: int, now: float) -> None:
+        if busy[replica] or dead[replica]:
+            return
+        queue = scheduler_list[replica]
+        batcher = batcher_list[replica]
+        live: list[QueuedRequest] = []
+        while not live:
+            if not len(queue):
+                hold_at[replica] = None
+                return
+            ready_at = batcher.hold_until(queue, now)
+            if ready_at > now:
+                if hold_at[replica] != ready_at:
+                    hold_at[replica] = ready_at
+                    heapq.heappush(events, (ready_at, _LAUNCH, replica, 0.0))
+                return
+            hold_at[replica] = None
+            entries = batcher.take(queue, now)
+            if not entries:
+                raise ServingError(
+                    f"batcher {batcher.name!r} returned an empty batch"
+                )
+            for entry in entries:
+                flight, attempt, _ = copy_info[entry.seq]
+                if flight.done or flight.attempts != attempt:
+                    del copy_info[entry.seq]  # cancelled while queued
+                    continue
+                live.append(entry)
+        head = live[0]
+        start = max(head.request.arrival_s, now)
+        if len(live) == 1:
+            result = head.result
+            finish = start + head.service_s  # straggler-inflated
+        else:
+            exec_task = _batch_exec_task(live, batcher)
+            result = engine_list[replica].serve_batched(exec_task, len(live))
+            # The batch straggles with its slowest member.
+            max_factor = max(copy_info[e.seq][0].factor for e in live)
+            finish = start + result.latency_s * max_factor
+        busy[replica] = True
+        inflight[replica] = (live, start, finish, result, len(live))
+        heapq.heappush(events, (finish, _FREE, replica, float(generation[replica])))
+
+    for replica in range(n_start):
+        schedule_crash(replica, 0.0)
+
+    arrival_iter = iter(stream)
+    next_req = next(arrival_iter, None)
+    seq = 0
+    while next_req is not None or pending:
+        if next_req is not None:
+            if events:
+                top = events[0]
+                arrival_s = next_req.arrival_s
+                take_arrival = arrival_s < top[0] or (
+                    arrival_s == top[0] and top[1] > _ARRIVAL
+                )
+            else:
+                take_arrival = True
+        else:
+            take_arrival = False
+
+        if take_arrival:
+            req = next_req
+            now = req.arrival_s
+            if autoscaler is not None:
+                autoscale(now)
+            factor = policy.straggler_factor(req)
+            if factor < 1.0:
+                raise ServingError(
+                    f"fault policy {policy.name!r} returned straggler factor "
+                    f"{factor} < 1"
+                )
+            if factor > 1.0:
+                n_stragglers += 1
+            flight = _Flight(
+                index=seq,
+                request=req,
+                factor=factor,
+                deadline_s=req.deadline_s(slo_ms),
+            )
+            pending[req.request_id] = flight
+            replica, entry = push_copy(flight, now, is_hedge=False)
+            if collect:
+                responses.append(None)
+                assignments.append(replica)
+            else:
+                assign_note(replica)
+            if timeout_s is not None:
+                heapq.heappush(
+                    events, (now + timeout_s, _TIMEOUT, req.request_id, 1.0)
+                )
+            if hedge_s is not None:
+                heapq.heappush(
+                    events, (now + hedge_s, _HEDGE, req.request_id, 0.0)
+                )
+            if (
+                policy.preemptive
+                and busy[replica]
+                and not dead[replica]
+                and inflight[replica] is not None
+            ):
+                rank = scheduler_list[replica].preemption_rank
+                running = [
+                    rank(e)
+                    for e in inflight[replica][0]
+                    if e.seq in copy_info
+                    and not copy_info[e.seq][0].done
+                ]
+                running_rank = max(running) if running else -_INF
+                if policy.preempts(rank(entry), running_rank):
+                    abort_execution(replica, now)
+                    n_preemptions += 1
+            if not busy[replica]:
+                launch(replica, now)
+            seq += 1
+            next_req = next(arrival_iter, None)
+            continue
+
+        now, kind, index, payload = heapq.heappop(events)
+
+        if kind == _FREE:
+            replica = index
+            if payload != generation[replica]:
+                continue  # execution was aborted (crash/preemption)
+            busy[replica] = False
+            batch = inflight[replica]
+            inflight[replica] = None
+            entries, start, finish, result, size = batch
+            for position, entry in enumerate(entries):
+                flight, attempt, is_hedge = copy_info.pop(entry.seq)
+                if flight.done or flight.attempts != attempt:
+                    continue  # a sibling copy already won, or superseded
+                flight.done = True
+                del pending[entry.request.request_id]
+                if is_hedge:
+                    n_hedge_wins += 1
+                    outcome = "hedged"
+                elif flight.attempts > 1:
+                    outcome = "retried"
+                else:
+                    outcome = "ok"
+                record(flight, result, start, finish, size, position, outcome)
+            if autoscaler is not None:
+                autoscale(now)
+            launch(replica, now)
+
+        elif kind == _RECOVER:
+            replica = index
+            dead[replica] = False
+            if replica_factory is not None:
+                # The replacement engine comes through the fleet's
+                # factory: it shares the fleet's compile cache, so
+                # recovery warmup costs exactly what a scale-up does.
+                engine, _scheduler, _batcher = replica_factory()
+                engine_list[replica] = engine
+                bind_cost(replica)
+            schedule_crash(replica, now)
+            work_until[replica] = max(work_until[replica], now)
+            if rich:
+                dispatch.assign(replica, work_until[replica])
+            launch(replica, now)
+
+        elif kind == _LAUNCH:
+            replica = index
+            # Stale unless this exact hold is still pending on a live,
+            # idle replica (crashes clear holds; launches reschedule).
+            if busy[replica] or dead[replica] or hold_at[replica] != now:
+                continue
+            launch(replica, now)
+
+        elif kind == _CRASH:
+            replica = index
+            n_crashes += 1
+            downtime_total += payload
+            hold_at[replica] = None
+            dead[replica] = True
+            if busy[replica]:
+                abort_execution(replica, now)
+            recover_at = now + payload
+            work_until[replica] = max(work_until[replica], recover_at)
+            if rich:
+                dispatch.assign(replica, work_until[replica])
+            heapq.heappush(events, (recover_at, _RECOVER, replica, payload))
+
+        elif kind == _TIMEOUT:
+            flight = pending.get(index)
+            if flight is None or flight.done or flight.attempts != payload:
+                continue  # resolved, or a newer attempt reset the budget
+            if flight.attempts <= retries:
+                # Older copies (queued or in flight) go stale via the
+                # attempt tag; the timeout budget restarts now.
+                flight.attempts += 1
+                n_retries += 1
+                replica, _entry = push_copy(flight, now, is_hedge=False)
+                heapq.heappush(
+                    events,
+                    (now + timeout_s, _TIMEOUT, index, float(flight.attempts)),
+                )
+                launch(replica, now)
+            else:
+                n_timeouts += 1
+                flight.done = True
+                del pending[index]
+                record(flight, flight.result, now, now, 1, 0, "timeout")
+
+        else:  # _HEDGE
+            flight = pending.get(index)
+            if flight is None or flight.done or flight.hedged:
+                continue
+            flight.hedged = True
+            n_hedges += 1
+            replica, _entry = push_copy(flight, now, is_hedge=True)
+            launch(replica, now)
+
+    if seq == 0:
+        raise ServingError("serve_stream needs at least one request")
+    return StreamOutcome(
+        responses=responses,  # type: ignore[arg-type]
+        assignments=assignments,
+        scale_events=tuple(scale_events),
+        n_replicas=len(engine_list),
+        active_replicas=active,
+        fault_stats=FaultStats(
+            crashes=n_crashes,
+            downtime_s=downtime_total,
+            preemptions=n_preemptions,
+            retries=n_retries,
+            timeouts=n_timeouts,
+            hedges=n_hedges,
+            hedge_wins=n_hedge_wins,
+            stragglers=n_stragglers,
+        ),
     )

@@ -36,6 +36,7 @@ from repro.serving.autoscaler import Autoscaler
 from repro.serving.batching import Batcher, make_batcher
 from repro.serving.engine import ServeRequest, ServeResponse, ServingEngine, StreamReport
 from repro.serving.events import StreamDispatcher, run_stream
+from repro.serving.faults import FaultPolicy, make_fault_policy
 from repro.serving.platform import Platform, PreparedModel
 from repro.serving.scheduler import Scheduler, make_scheduler
 from repro.serving.stats import StreamSummary
@@ -235,6 +236,11 @@ class Fleet:
         autoscaler: Autoscaler | None = None,
         mode: str = "full",
         presorted: bool = False,
+        faults: str | FaultPolicy | Callable[[], FaultPolicy] = "none",
+        fault_seed: int = 0,
+        timeout_ms: float | None = None,
+        retries: int = 0,
+        hedge_ms: float | None = None,
     ) -> "FleetReport | StreamSummary":
         """Dispatch a timestamped stream across the replicas.
 
@@ -258,6 +264,13 @@ class Fleet:
         online per-replica counts instead of per-request assignments)
         and ``presorted=True`` streams a lazy time-ordered input without
         materializing it.
+
+        ``faults``/``fault_seed``/``timeout_ms``/``retries``/
+        ``hedge_ms`` inject unreliable hardware exactly as on
+        :meth:`ServingEngine.serve_stream`; replicas that crash recover
+        through the fleet's replica factory, so a recovery re-binds the
+        engine against the shared compile cache rather than silently
+        reusing the dead instance.
         """
         if isinstance(scheduler, Scheduler):
             raise ServingError(
@@ -293,6 +306,24 @@ class Fleet:
             raise ServingError(
                 f"unknown stream mode {mode!r}; expected 'full' or 'summary'"
             )
+        fault_policy = make_fault_policy(faults)
+        faultless = (
+            fault_policy.name == "none"
+            and timeout_ms is None
+            and hedge_ms is None
+            and retries == 0  # so a timeout-less retries still validates
+        )
+        fault_kwargs = (
+            {}
+            if faultless
+            else {
+                "faults": fault_policy,
+                "fault_seed": fault_seed,
+                "timeout_ms": timeout_ms,
+                "retries": retries,
+                "hedge_ms": hedge_ms,
+            }
+        )
         summary = None
         if mode == "summary":
             summary = StreamSummary(
@@ -300,6 +331,7 @@ class Fleet:
                 slo_ms=slo_ms,
                 scheduler=schedulers[0].name,
                 batcher=batchers[0].name,
+                faults=fault_policy.name,
             )
         outcome = run_stream(
             arrivals,
@@ -312,6 +344,7 @@ class Fleet:
             replica_factory=replica_factory,
             presorted=presorted,
             summary=summary,
+            **fault_kwargs,
         )
         if summary is not None:
             return summary.finalize(
@@ -319,6 +352,7 @@ class Fleet:
                 replicas=outcome.n_replicas,
                 active_replicas=outcome.active_replicas,
                 policy=self.policy,
+                fault_stats=outcome.fault_stats,
             )
         return FleetReport(
             platform=self.platform_name,
@@ -331,4 +365,6 @@ class Fleet:
             assignments=tuple(outcome.assignments),
             replicas=outcome.n_replicas,
             active_replicas=outcome.active_replicas,
+            faults=fault_policy.name,
+            fault_stats=outcome.fault_stats,
         )

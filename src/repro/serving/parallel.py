@@ -60,6 +60,7 @@ from repro.serving.autoscaler import Autoscaler
 from repro.serving.batching import make_batcher
 from repro.serving.engine import ServingEngine
 from repro.serving.events import normalize_arrivals
+from repro.serving.faults import make_fault_policy
 from repro.serving.fleet import Fleet
 from repro.serving.request import ServeRequest
 from repro.serving.scheduler import make_scheduler
@@ -222,6 +223,11 @@ class _ShardJob:
     slo_ms: float | None
     autoscaler: Autoscaler | None
     seed: int
+    faults: str = "none"
+    fault_seed: int = 0
+    timeout_ms: float | None = None
+    retries: int = 0
+    hedge_ms: float | None = None
 
     def stream(self) -> Iterable[ServeRequest]:
         if self.requests is not None:
@@ -253,6 +259,7 @@ def _run_shard(job: _ShardJob) -> StreamSummary:
             slo_ms=job.slo_ms,
             scheduler=make_scheduler(job.scheduler).name,
             batcher=make_batcher(job.batcher).name,
+            faults=make_fault_policy(job.faults).name,
         )
     kwargs: dict = {
         "slo_ms": job.slo_ms,
@@ -265,6 +272,14 @@ def _run_shard(job: _ShardJob) -> StreamSummary:
         # generator, mix(presorted=True), and recorded trace emit) and
         # is validated lazily by the event loop.
         "presorted": job.requests is None,
+        "faults": job.faults,
+        # Each shard's fault timeline draws from its own derived seed,
+        # so the merged result is pool-size independent but shards do
+        # not replay each other's crashes.
+        "fault_seed": shard_seed(job.fault_seed, job.shard),
+        "timeout_ms": job.timeout_ms,
+        "retries": job.retries,
+        "hedge_ms": job.hedge_ms,
     }
     if isinstance(server, Fleet):
         kwargs["autoscaler"] = job.autoscaler
@@ -286,6 +301,11 @@ def serve_parallel(
     slo_ms: float | None = None,
     autoscaler: Autoscaler | None = None,
     seed: int = 0,
+    faults: str = "none",
+    fault_seed: int = 0,
+    timeout_ms: float | None = None,
+    retries: int = 0,
+    hedge_ms: float | None = None,
     **platform_options: object,
 ) -> StreamSummary:
     """Simulate one stream as ``shards`` independent event loops and merge.
@@ -321,6 +341,15 @@ def serve_parallel(
         autoscaler: Optional per-shard autoscaler (each shard scales
             against its own queue depth, like an independent cell).
         seed: Base seed for ``shard_by="generate"`` derivation.
+        faults: Fault-policy registry key (a *string*, since workers
+            re-create the policy; instances do not ship).  Each shard
+            injects faults over its own :func:`shard_seed`-derived
+            ``fault_seed``, so the merged summary is reproducible and
+            pool-size independent.
+        fault_seed: Base seed for per-shard fault-timeline derivation.
+        timeout_ms: Per-attempt timeout, as in ``serve_stream``.
+        retries: Re-dispatch budget after a timeout.
+        hedge_ms: Hedged-duplicate delay, as in ``serve_stream``.
         **platform_options: Forwarded to the platform constructor.
 
     Returns:
@@ -355,6 +384,11 @@ def serve_parallel(
         raise ServingError(
             f"unknown shard mode {shard_by!r}; known: {', '.join(SHARD_MODES)}"
         )
+    if not isinstance(faults, str):
+        raise ServingError(
+            "parallel serving needs a fault-policy registry key, not an "
+            "instance; workers re-create the policy per shard"
+        )
     factory: "StreamFactory | None" = None
     parts: "list[tuple[ServeRequest, ...] | None]"
     if callable(arrivals):
@@ -384,6 +418,11 @@ def serve_parallel(
             slo_ms=slo_ms,
             autoscaler=autoscaler,
             seed=seed,
+            faults=faults,
+            fault_seed=fault_seed,
+            timeout_ms=timeout_ms,
+            retries=retries,
+            hedge_ms=hedge_ms,
         )
         for shard in range(shards)
     ]

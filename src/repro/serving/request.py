@@ -107,6 +107,13 @@ class ServeResponse:
     batch_size: int = 1
     #: This request's position within its batch (0 for the head).
     batch_index: int = 0
+    #: How the request left the system: ``"ok"`` (served normally),
+    #: ``"retried"`` (served after >=1 timeout retry), ``"hedged"`` (the
+    #: hedged duplicate finished first), or ``"timeout"`` (retry budget
+    #: exhausted; ``start_s == finish_s`` = the give-up instant).
+    outcome: str = "ok"
+    #: Dispatch attempts this request consumed (1 = no retries).
+    attempts: int = 1
 
     @property
     def service_s(self) -> float:

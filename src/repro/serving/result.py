@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # only for annotations; avoids eager heavy imports
     from repro.mapping.mapper import MappedDesign
     from repro.plasticine.simulator import SimulationResult
 
-__all__ = ["ServingResult"]
+__all__ = ["FaultStats", "ServingResult"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +65,62 @@ class ServingResult:
     def speedup_over(self, other: "ServingResult") -> float:
         """How much faster *this* platform is than ``other`` (>1 = faster)."""
         return other.latency_s / self.latency_s
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Stream-level fault-injection counters.
+
+    Produced by the fault-aware event loop (see
+    :mod:`repro.serving.faults`) and attached to every
+    ``StreamReport``/``StreamSummary``.  A faultless run carries the
+    all-zero record, which is also the identity for :meth:`merge` — the
+    reason this lives next to :class:`ServingResult` rather than in the
+    stats module is that both reports and summaries (and the parallel
+    shard merge) need it without import cycles.
+
+    Example::
+
+        >>> from repro.serving import FaultStats
+        >>> a = FaultStats(crashes=1, downtime_s=0.5, retries=2)
+        >>> b = FaultStats(retries=1, hedges=3, hedge_wins=1)
+        >>> a.merge(b)
+        FaultStats(crashes=1, downtime_s=0.5, preemptions=0, retries=3, timeouts=0, hedges=3, hedge_wins=1, stragglers=0)
+        >>> FaultStats().any, a.any
+        (False, True)
+    """
+
+    #: Replica crash events injected into the stream.
+    crashes: int = 0
+    #: Total replica-seconds spent dead (summed over crashes).
+    downtime_s: float = 0.0
+    #: In-flight executions aborted by a higher-priority arrival.
+    preemptions: int = 0
+    #: Re-dispatches after a per-request timeout expired.
+    retries: int = 0
+    #: Requests that exhausted their retry budget (outcome ``"timeout"``).
+    timeouts: int = 0
+    #: Hedged duplicate dispatches issued.
+    hedges: int = 0
+    #: Requests whose hedge copy finished first (outcome ``"hedged"``).
+    hedge_wins: int = 0
+    #: Executions whose service time was straggler-inflated.
+    stragglers: int = 0
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault was injected (False for the identity record)."""
+        return self != FaultStats()
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        """Field-wise sum — associative, with ``FaultStats()`` as identity."""
+        return FaultStats(
+            crashes=self.crashes + other.crashes,
+            downtime_s=self.downtime_s + other.downtime_s,
+            preemptions=self.preemptions + other.preemptions,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
+            hedges=self.hedges + other.hedges,
+            hedge_wins=self.hedge_wins + other.hedge_wins,
+            stragglers=self.stragglers + other.stragglers,
+        )

@@ -124,6 +124,17 @@ class Scheduler(ABC):
             f"look-ahead batching policies need it"
         )
 
+    def preemption_rank(self, entry: QueuedRequest) -> float:
+        """Urgency rank a preemptive fault policy compares (larger = more urgent).
+
+        The fault-aware event loop (:mod:`repro.serving.faults`) asks the
+        replica's discipline how urgent a request is when deciding whether
+        a new arrival may abort the in-flight batch.  The default ranks by
+        the request's strict priority class; disciplines with their own
+        notion of urgency (e.g. EDF) may override it.
+        """
+        return float(entry.request.priority)
+
 
 class _KeyedScheduler(Scheduler):
     """Heap-ordered discipline over a per-entry key; ties break FIFO."""
@@ -324,6 +335,10 @@ class EDFScheduler(_KeyedScheduler):
 
     def key(self, entry: QueuedRequest) -> tuple:
         return (entry.deadline_s,)
+
+    def preemption_rank(self, entry: QueuedRequest) -> float:
+        # Earlier deadline = more urgent; negate so larger still wins.
+        return -entry.deadline_s
 
 
 @register_scheduler("sjf")

@@ -214,6 +214,14 @@ class ServingServer:
         slo_ms: Server-default SLO; per-request ``slo_ms`` overrides it,
             exactly as in ``serve_stream``.
         clock: A :class:`Clock`; defaults to :class:`VirtualClock`.
+        timeout_ms: Wall-clock bound on how long one :meth:`submit`
+            waits for its response.  On expiry the client future is
+            cancelled and ``submit`` raises
+            :class:`~repro.errors.ServingError` — cleanly: the request
+            still drains through the queue (conservation holds), its
+            response is simply no longer deliverable.  Wall time, not
+            clock time, so it guards against a stalled server even
+            under a :class:`VirtualClock`.
         **platform_options: Forwarded to the platform constructor.
 
     Lifecycle: ``start()`` spawns the workers, ``drain()`` stops
@@ -246,10 +254,14 @@ class ServingServer:
         max_batch: int | None = None,
         slo_ms: float | None = None,
         clock: Clock | None = None,
+        timeout_ms: float | None = None,
         **platform_options: object,
     ) -> None:
         if replicas < 1:
             raise ServingError("a server needs at least one replica")
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ServingError("timeout_ms must be positive")
+        self.timeout_ms = timeout_ms
         self.engine = ServingEngine(platform, **platform_options)
         self.replicas = replicas
         self.slo_ms = slo_ms
@@ -399,7 +411,21 @@ class ServingServer:
                 )
             )
             self._cond.notify_all()
-        return await future
+        if self.timeout_ms is None:
+            return await future
+        try:
+            # Shield so the wait_for cancellation hits our wrapper, not
+            # the shared future a worker may be about to resolve.
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.timeout_ms / 1e3
+            )
+        except asyncio.TimeoutError:
+            self._futures.pop(seq, None)
+            future.cancel()
+            raise ServingError(
+                f"request {request.request_id} timed out after "
+                f"{self.timeout_ms:g} ms"
+            ) from None
 
     async def serve_all(
         self, requests: "Iterable[ServeRequest | RNNTask]"

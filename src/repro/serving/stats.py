@@ -53,7 +53,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ServingError
 from repro.serving.request import ServeRequest
-from repro.serving.result import ServingResult
+from repro.serving.result import FaultStats, ServingResult
 from repro.serving.traffic import length_band
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,14 +108,17 @@ class _ClassAcc:
     """Online accumulator for one request class.
 
     A class is the finest slice the summary can report:
-    ``(task, tenant, priority, request-level slo)``.  Everything the
-    summary (or any of its tenant/priority/length-band rollups) exposes
-    is derived by merging these.
+    ``(task, tenant, priority, request-level slo, outcome)``.
+    Everything the summary (or any of its tenant/priority/length-band/
+    outcome rollups) exposes is derived by merging these.  ``outcome``
+    is ``"ok"`` everywhere outside fault-injected runs, so faultless
+    grouping is unchanged.
     """
 
     __slots__ = (
         "tenant",
         "priority",
+        "outcome",
         "slo_key",
         "eff_slo_ms",
         "timesteps",
@@ -144,9 +147,11 @@ class _ClassAcc:
         eff_slo_ms: float | None,
         timesteps: int,
         useful_flops: int,
+        outcome: str = "ok",
     ) -> None:
         self.tenant = tenant
         self.priority = priority
+        self.outcome = outcome
         #: The request-level ``slo_ms`` tag (before the stream fallback).
         self.slo_key = slo_key
         #: The SLO requests of this class are judged against (request
@@ -199,6 +204,7 @@ class _ClassAcc:
             eff_slo_ms=self.eff_slo_ms,
             timesteps=self.timesteps,
             useful_flops=self.useful_flops,
+            outcome=self.outcome,
         )
         for name in (
             "n", "sojourn_sum_ms", "queue_sum_s", "service_sum_s",
@@ -298,6 +304,7 @@ class StreamSummary:
         scheduler: str = "fifo",
         batcher: str = "none",
         band_base: float = 2.0,
+        faults: str = "none",
         _classes: "dict[tuple, _ClassAcc] | None" = None,
     ) -> None:
         if band_base <= 1.0:
@@ -307,6 +314,8 @@ class StreamSummary:
         self.scheduler = scheduler
         self.batcher = batcher
         self.band_base = band_base
+        self.faults = faults
+        self.fault_stats = FaultStats()
         self.scale_events: "tuple[ScaleEvent, ...]" = ()
         self.policy: str | None = None
         self.replicas = 1
@@ -333,9 +342,9 @@ class StreamSummary:
             self._flops[task] = flops
         return flops
 
-    def _class_for(self, request: ServeRequest) -> _ClassAcc:
+    def _class_for(self, request: ServeRequest, outcome: str) -> _ClassAcc:
         task = request.task
-        key = (task, request.tenant, request.priority, request.slo_ms)
+        key = (task, request.tenant, request.priority, request.slo_ms, outcome)
         acc = self._classes.get(key)
         if acc is None:
             slo = request.slo_ms
@@ -347,10 +356,13 @@ class StreamSummary:
                 eff_slo_ms=eff,
                 timesteps=task.timesteps,
                 useful_flops=self._flops_of(task),
+                outcome=outcome,
             )
             self._classes[key] = acc
         self._last_task = task
-        self._last_req_key = (request.tenant, request.priority, request.slo_ms)
+        self._last_req_key = (
+            request.tenant, request.priority, request.slo_ms, outcome
+        )
         self._last_acc = acc
         return acc
 
@@ -361,23 +373,25 @@ class StreamSummary:
         start_s: float,
         finish_s: float,
         batch_size: int,
+        outcome: str = "ok",
     ) -> None:
         """Fold one completed request into the summary.
 
         Called by the event loop (in any completion order) with the same
         fields a :class:`~repro.serving.request.ServeResponse` would
         carry; ``result`` is the executed (possibly padded, possibly
-        batched) platform result.
+        batched) platform result, ``outcome`` how the request left the
+        system (always ``"ok"`` outside fault-injected runs).
         """
         task = request.task
         acc = self._last_acc
         if (
             acc is None
             or task is not self._last_task
-            or (request.tenant, request.priority, request.slo_ms)
+            or (request.tenant, request.priority, request.slo_ms, outcome)
             != self._last_req_key
         ):
-            acc = self._class_for(request)
+            acc = self._class_for(request, outcome)
         arrival = request.arrival_s
         sojourn_ms = (finish_s - arrival) * 1e3
         acc.n += 1
@@ -424,6 +438,7 @@ class StreamSummary:
             response.start_s,
             response.finish_s,
             response.batch_size,
+            outcome=response.outcome,
         )
 
     def note_assignment(self, replica: int, count: int = 1) -> None:
@@ -445,6 +460,7 @@ class StreamSummary:
         replicas: int = 1,
         active_replicas: int = 1,
         policy: str | None = None,
+        fault_stats: "FaultStats | None" = None,
     ) -> "StreamSummary":
         """Attach end-of-stream metadata; raises on an empty stream."""
         if not self._classes:
@@ -453,6 +469,8 @@ class StreamSummary:
         self.replicas = replicas
         self.active_replicas = active_replicas
         self.policy = policy
+        if fault_stats is not None:
+            self.fault_stats = fault_stats
         return self
 
     # -- merging ----------------------------------------------------------
@@ -467,7 +485,9 @@ class StreamSummary:
         return not self._classes
 
     def _check_mergeable(self, other: "StreamSummary") -> None:
-        for attr in ("platform", "slo_ms", "scheduler", "batcher", "band_base"):
+        for attr in (
+            "platform", "slo_ms", "scheduler", "batcher", "band_base", "faults",
+        ):
             mine, theirs = getattr(self, attr), getattr(other, attr)
             if mine != theirs:
                 raise ServingError(
@@ -518,12 +538,14 @@ class StreamSummary:
             scheduler=self.scheduler,
             batcher=self.batcher,
             band_base=self.band_base,
+            faults=self.faults,
         )
         parts = (self, *others)
         events: list = []
         policies = set()
         replicas = active = 0
         counts: list[int] = []
+        fault_stats = FaultStats()
         for part in parts:
             self._check_mergeable(part)
             for key, acc in part._classes.items():
@@ -534,10 +556,12 @@ class StreamSummary:
                     mine.absorb(acc)
             events.extend(part.scale_events)
             policies.add(part.policy)
+            fault_stats = fault_stats.merge(part.fault_stats)
             if not part.is_empty:
                 replicas += part.replicas
                 active += part.active_replicas
                 counts.extend(part.per_replica_counts)
+        merged.fault_stats = fault_stats
         merged._replica_counts = counts
         merged.replicas = max(replicas, 1)
         merged.active_replicas = max(active, 1)
@@ -717,8 +741,11 @@ class StreamSummary:
             scheduler=self.scheduler,
             batcher=self.batcher,
             band_base=self.band_base,
+            faults=self.faults,
             _classes={key: self._classes[key] for key in accs},
         )
+        # Stream-wide metadata (scale events, fault counters) is not
+        # attributable to a slice; slices keep the identities.
         sub.scale_events = ()
         return sub
 
@@ -743,6 +770,22 @@ class StreamSummary:
         for key, acc in self._classes.items():
             groups.setdefault(acc.priority, []).append(key)
         return {p: self._subset(groups[p]) for p in sorted(groups)}
+
+    @property
+    def outcomes(self) -> tuple[str, ...]:
+        return tuple(sorted({acc.outcome for acc in self._accs()}))
+
+    def per_outcome(self) -> "dict[str, StreamSummary]":
+        """Sub-summaries keyed by outcome (``"ok"``/``"retried"``/
+        ``"hedged"``/``"timeout"``).
+
+        Per-outcome request counts always sum to ``n_requests``; outside
+        fault-injected runs the only key is ``"ok"``.
+        """
+        groups: dict[str, list[tuple]] = {}
+        for key, acc in self._classes.items():
+            groups.setdefault(acc.outcome, []).append(key)
+        return {o: self._subset(groups[o]) for o in sorted(groups)}
 
     def per_length_band(self, band_base: float = 2.0) -> "dict[str, StreamSummary]":
         """Sub-summaries keyed by geometric sequence-length band.

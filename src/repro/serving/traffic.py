@@ -43,7 +43,7 @@ from functools import cached_property
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import ServingError
+from repro.errors import ServingError, WorkloadError
 from repro.serving.request import ServeRequest
 from repro.workloads.deepbench import RNNTask
 
@@ -718,7 +718,11 @@ def request_from_json(rec: dict, *, where: str = "request record") -> ServeReque
     The inverse of :func:`request_to_json`, shared by trace replay and
     the live server.  ``where`` names the source in error messages
     (trace line, socket peer).  Raises
-    :class:`~repro.errors.ServingError` on malformed records.
+    :class:`~repro.errors.ServingError` on malformed records — *every*
+    malformed record: non-dict JSON values and records whose fields
+    fail task validation (an unknown kind, a non-positive size) land
+    here too, so a trace replayer or socket handler catching
+    ``ServingError`` really does survive arbitrary input.
 
     Example::
 
@@ -728,7 +732,16 @@ def request_from_json(rec: dict, *, where: str = "request record") -> ServeReque
         >>> req = ServeRequest(task=task("gru", 256, 50), tenant="asr")
         >>> request_from_json(request_to_json(req)) == req
         True
+        >>> request_from_json([1, 2])
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServingError: bad request record: expected a JSON \
+object, got list
     """
+    if not isinstance(rec, dict):
+        raise ServingError(
+            f"bad {where}: expected a JSON object, got {type(rec).__name__}"
+        )
     try:
         if rec.get("batch", 1) != 1:
             # v1 recorded the (removed, always-1) RNNTask.batch field.
@@ -752,7 +765,12 @@ def request_from_json(rec: dict, *, where: str = "request record") -> ServeReque
             priority=rec.get("priority", 0),
             slo_ms=rec.get("slo_ms"),
         )
-    except (KeyError, TypeError, AttributeError) as exc:
+    except ServingError:
+        raise
+    except (KeyError, TypeError, ValueError, WorkloadError) as exc:
+        # WorkloadError: RNNTask validation (unknown kind, bad sizes)
+        # must not escape as a non-serving exception past a handler
+        # that promised ServingError for malformed records.
         raise ServingError(f"bad {where}: {exc}") from exc
 
 

@@ -70,9 +70,21 @@ class TestPolicy:
         scaler.reset()
         assert scaler.decide(now=0.0, active=1, queue_depth=50,
                              projected_wait_s=0.0, slo_ms=None) is not None
+        scaler.note_applied(0.0)
         assert scaler.decide(now=0.05, active=4, queue_depth=50,
                              projected_wait_s=0.0, slo_ms=None) is None
         assert scaler.decide(now=0.11, active=4, queue_depth=50,
+                             projected_wait_s=0.0, slo_ms=None) is not None
+
+    def test_unapplied_decision_does_not_charge_cooldown(self):
+        # A decision the event loop could not honor (e.g. scale-up with
+        # no replica factory) must not start the cooldown window:
+        # deciding is free, only note_applied() commits.
+        scaler = Autoscaler(min_replicas=1, max_replicas=8, cooldown_s=0.1)
+        scaler.reset()
+        assert scaler.decide(now=0.0, active=1, queue_depth=50,
+                             projected_wait_s=0.0, slo_ms=None) is not None
+        assert scaler.decide(now=0.01, active=1, queue_depth=50,
                              projected_wait_s=0.0, slo_ms=None) is not None
 
 

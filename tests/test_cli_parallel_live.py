@@ -88,6 +88,57 @@ class TestFlagValidation:
         ]) == 1
         assert "needs one platform" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (("--timeout-ms", "0"), "--timeout-ms must be positive"),
+            (("--hedge-ms", "-1"), "--hedge-ms must be positive"),
+            (("--retries", "-1"), "--retries must be >= 0"),
+            (("--retries", "2"), "add --timeout-ms"),
+            (("--faults", "chaos", "--clients", "4"),
+             "inject into the simulated stream"),
+            (("--hedge-ms", "5", "--listen", "127.0.0.1:0"),
+             "inject into the simulated stream"),
+        ],
+    )
+    def test_rejected_fault_flags(self, capsys, extra, message):
+        assert main(_serve(*extra)) == 1
+        assert message in capsys.readouterr().err
+
+    def test_unknown_fault_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(_serve("--faults", "gremlins"))
+        assert "--faults" in capsys.readouterr().err
+
+
+class TestFaultyCLI:
+    def test_chaos_run_prints_breakdown_and_is_deterministic(self, capsys):
+        cmd = _serve(
+            "--faults", "chaos", "--fault-seed", "11",
+            "--timeout-ms", "20", "--retries", "1", "--hedge-ms", "10",
+            "--replicas", "2",
+        )
+        assert main(cmd) == 0
+        first = capsys.readouterr().out
+        assert "faults chaos" in first
+        assert "fault injection (chaos)" in first
+        assert "crashes" in first and "hedges" in first
+        assert main(cmd) == 0
+        assert capsys.readouterr().out == first
+
+    def test_faults_none_output_matches_plain_stream(self, capsys):
+        assert main(_serve("--stream")) == 0
+        plain = capsys.readouterr().out
+        assert main(_serve("--stream", "--faults", "none")) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_sharded_chaos_pool_size_invisible(self, capsys):
+        cmd = _serve("--faults", "crash", "--fault-seed", "3", "--shards", "2")
+        assert main(cmd + ["--workers", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(cmd + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == one
+
 
 class TestLiveClients:
     def test_in_process_clients(self, capsys):

@@ -353,6 +353,38 @@ class TestSockets:
         assert good["ok"] is True and good["request_id"] == 7
         assert server.served == 1
 
+    def test_invalid_task_record_gets_error_reply_not_a_crash(self):
+        """Regression: a well-formed JSON object whose *task* fields are
+        invalid used to escape as WorkloadError past the handler's
+        ServingError catch, killing the connection with no reply."""
+
+        async def main():
+            server = await ServingServer("gpu").start()
+            host, port = await server.listen()
+            reader, writer = await asyncio.open_connection(host, port)
+            for record in (
+                {"kind": "nope", "hidden": 512, "timesteps": 25},
+                {"kind": "lstm", "hidden": -4, "timesteps": 25},
+                {"kind": "lstm", "hidden": "big", "timesteps": 25},
+            ):
+                writer.write((json.dumps(record) + "\n").encode())
+            await writer.drain()
+            bad = [json.loads(await reader.readline()) for _ in range(3)]
+            good = await self.roundtrip(
+                reader, writer, ServeRequest(task=GRU, request_id=9)
+            )
+            writer.close()
+            await writer.wait_closed()
+            await server.drain()
+            return bad, good, server
+
+        bad, good, server = run(main())
+        for i, reply in enumerate(bad):
+            assert reply["ok"] is False, reply
+            assert f"line {i + 1}" in reply["error"]
+        assert good["ok"] is True and good["request_id"] == 9
+        assert server.served == 1
+
     def test_pipelined_requests_one_connection(self):
         async def main():
             server = await ServingServer("gpu", replicas=2).start()
@@ -416,6 +448,41 @@ class TestSockets:
         assert reply["ok"] and reply["tenant"] == "replayed"
         assert reply["slo_ms"] == 9.0
         assert server.summary.tenants == ("replayed",)
+
+
+class TestSubmitTimeout:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ServingError, match="timeout_ms"):
+            ServingServer("gpu", timeout_ms=0.0)
+
+    def test_generous_timeout_is_invisible(self):
+        async def main():
+            async with ServingServer("gpu", timeout_ms=60_000.0) as server:
+                return await asyncio.gather(
+                    *(server.submit(T) for _ in range(20))
+                ), server
+
+        responses, server = run(main())
+        assert len(responses) == 20
+        assert server.accepted == server.served == 20
+
+    def test_expiry_raises_yet_request_still_drains(self):
+        # A real clock slowed far below real time makes the single dwell
+        # outlast the 50 ms budget; submit must fail fast with a
+        # ServingError while the worker still finishes the execution, so
+        # the conservation counters balance after drain.
+        async def main():
+            server = await ServingServer(
+                "gpu", clock=RealClock(speedup=0.002), timeout_ms=50.0
+            ).start()
+            with pytest.raises(ServingError, match="timed out after 50"):
+                await server.submit(T)
+            await server.drain()
+            return server
+
+        server = run(main())
+        assert server.accepted == server.served == 1
+        assert server.summary.n_requests == 1
 
 
 class TestClocks:

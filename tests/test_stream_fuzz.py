@@ -231,3 +231,152 @@ def test_fuzz_is_deterministic(seed):
     ] == [(r.start_s, r.finish_s, r.batch_size) for r in second.responses]
     assert first.p99_ms == second.p99_ms
     assert first.padding_waste_frac == second.padding_waste_frac
+
+
+# -- fault-injected scenarios -------------------------------------------
+
+_FAULTS = ("crash", "straggler", "preempt", "chaos")
+
+
+def _run_faulty(seed: int):
+    """Draw a whole unreliable-hardware scenario and run it end to end."""
+    rng = random.Random(10_000 + seed)
+    arrivals = _draw_stream(rng)
+    platform = _PLATFORMS[seed % len(_PLATFORMS)]
+    scheduler = rng.choice(_SCHEDULERS)
+    batcher = rng.choice(_BATCHERS)
+    max_batch = rng.choice((2, 4, 8))
+    replicas = rng.randint(1, 3)
+    faults = rng.choice(_FAULTS)
+    timeout_ms = rng.choice((None, 5.0, 25.0))
+    retries = rng.randint(0, 2) if timeout_ms is not None else 0
+    hedge_ms = rng.choice((None, 2.0, 10.0))
+    scenario = (
+        f"fault-seed={seed} platform={platform} scheduler={scheduler} "
+        f"batcher={batcher} replicas={replicas} faults={faults} "
+        f"timeout={timeout_ms} retries={retries} hedge={hedge_ms} "
+        f"n={len(arrivals)}"
+    )
+    kwargs = dict(
+        slo_ms=100.0,
+        scheduler=scheduler,
+        faults=faults,
+        fault_seed=seed,
+        timeout_ms=timeout_ms,
+        retries=retries,
+        hedge_ms=hedge_ms,
+    )
+    if replicas > 1:
+        report = Fleet(
+            platform,
+            replicas=replicas,
+            policy=rng.choice(("round-robin", "least-loaded")),
+        ).serve_stream(
+            arrivals,
+            batcher=lambda: get_batcher(batcher) if batcher == "none"
+            else get_batcher(batcher, max_batch=max_batch),
+            **kwargs,
+        )
+    else:
+        report = ServingEngine(platform).serve_stream(
+            arrivals,
+            batcher=batcher,
+            max_batch=None if batcher == "none" else max_batch,
+            **kwargs,
+        )
+    return arrivals, report, scenario
+
+
+def _assert_fault_invariants(arrivals, report, scenario: str) -> None:
+    eps = 1e-9
+    stats = report.fault_stats
+
+    # -- conservation survives crashes, retries, hedges, and timeouts:
+    # every request is answered exactly once, whichever copy won.
+    assert report.n_requests == len(arrivals), scenario
+    assert sorted(r.request.request_id for r in report.responses) == sorted(
+        r.request_id for r in arrivals
+    ), scenario
+
+    # -- no negative waits, even across crash/recovery gaps; timed-out
+    # requests resolve at their give-up instant with no service interval.
+    for r in report.responses:
+        assert r.finish_s >= r.start_s, scenario
+        assert r.start_s >= r.request.arrival_s - eps, scenario
+        assert r.attempts >= 1, scenario
+        assert r.outcome in ("ok", "retried", "hedged", "timeout"), scenario
+        if r.outcome == "timeout":
+            assert r.start_s == r.finish_s, scenario
+        if r.outcome in ("retried", "hedged") or r.attempts > 1:
+            assert stats.any, scenario
+
+    # -- per-outcome slices sum to the whole, and agree with the
+    # injected-fault counters.
+    slices = report.per_outcome()
+    assert sum(s.n_requests for s in slices.values()) == report.n_requests, (
+        scenario
+    )
+    counts = {name: s.n_requests for name, s in slices.items()}
+    assert counts.get("timeout", 0) == stats.timeouts, scenario
+    assert counts.get("hedged", 0) == stats.hedge_wins, scenario
+    assert sum(r.attempts - 1 for r in report.responses) == stats.retries, (
+        scenario
+    )
+
+    # -- the other rollups still partition the stream.
+    for groups in (report.per_tenant(), report.per_priority()):
+        assert sum(s.n_requests for s in groups.values()) == report.n_requests, (
+            scenario
+        )
+
+    # -- counters are internally consistent.
+    assert stats.crashes >= 0 and stats.downtime_s >= 0.0, scenario
+    assert stats.hedge_wins <= stats.hedges, scenario
+    assert 0.0 <= report.slo_attainment <= 1.0, scenario
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_fuzzed_fault_invariants(seed):
+    arrivals, report, scenario = _run_faulty(seed)
+    _assert_fault_invariants(arrivals, report, scenario)
+
+
+@pytest.mark.parametrize("seed", (2, 5))
+def test_fault_fuzz_is_deterministic(seed):
+    _, first, _ = _run_faulty(seed)
+    _, second, _ = _run_faulty(seed)
+    assert first.responses == second.responses
+    assert first.fault_stats == second.fault_stats
+
+
+def test_fault_fuzz_parallel_merge_consistent():
+    # The merged sharded summary is identical whatever the pool size.
+    from functools import partial
+
+    from repro.serving import poisson_arrivals, serve_parallel
+
+    make = partial(
+        poisson_arrivals,
+        task("lstm", 512, 25),
+        rate_per_s=1200.0,
+        n_requests=120,
+        seed=21,
+        materialize=False,
+    )
+    kwargs = dict(
+        shards=3,
+        slo_ms=50.0,
+        faults="chaos",
+        fault_seed=17,
+        timeout_ms=25.0,
+        retries=1,
+        hedge_ms=10.0,
+    )
+    a = serve_parallel(make, "gpu", workers=1, **kwargs)
+    b = serve_parallel(make, "gpu", workers=3, **kwargs)
+    assert a.n_requests == b.n_requests == 120
+    assert a.fault_stats == b.fault_stats
+    assert (a.p50_ms, a.p99_ms, a.slo_attainment) == (
+        b.p50_ms, b.p99_ms, b.slo_attainment,
+    )
+    assert sum(s.n_requests for s in a.per_outcome().values()) == 120

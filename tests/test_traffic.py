@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ServingError
 from repro.serving import (
     Fleet,
+    ServeRequest,
     ServingEngine,
     diurnal_arrivals,
     mix,
@@ -12,6 +13,8 @@ from repro.serving import (
     poisson_arrivals,
     record_trace,
     replay_trace,
+    request_from_json,
+    request_to_json,
     uniform_arrivals,
 )
 from repro.workloads.deepbench import task
@@ -251,3 +254,61 @@ class TestTrace:
         path.write_text("\n")
         with pytest.raises(ServingError, match="no requests"):
             replay_trace(path)
+
+    def test_record_is_atomic_under_midstream_failure(self, tmp_path):
+        """Regression: a generator blowing up mid-stream must neither
+        clobber the existing trace nor leave a half-written temp file."""
+        path = tmp_path / "trace.jsonl"
+        good = poisson_arrivals(T, rate_per_s=200.0, n_requests=5, seed=4)
+        record_trace(good, path)
+        before = path.read_text()
+
+        def exploding():
+            yield from good[:3]
+            raise RuntimeError("disk fell over")
+
+        with pytest.raises(RuntimeError, match="disk fell over"):
+            record_trace(exploding(), path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_record_empty_stream_keeps_existing_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record_trace(poisson_arrivals(
+            T, rate_per_s=200.0, n_requests=3, seed=1), path)
+        before = path.read_text()
+        with pytest.raises(ServingError, match="empty"):
+            record_trace([], path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestRequestFromJson:
+    def test_non_dict_records_raise_serving_error(self):
+        for rec in ([1, 2], "a string", 7, None, 3.5):
+            with pytest.raises(ServingError, match="expected a JSON object"):
+                request_from_json(rec)
+
+    def test_task_validation_failures_become_serving_errors(self):
+        # Regression: these used to escape as WorkloadError (unknown
+        # kind, bad sizes) or TypeError (wrong field types), past
+        # handlers that only catch ServingError.
+        base = request_to_json(ServeRequest(task=T, request_id=0))
+        for corrupt in (
+            {"kind": "nope"},
+            {"hidden": -4},
+            {"timesteps": 0},
+            {"hidden": "big"},
+            {"arrival_s": "soon"},
+            {"layers": 0},
+        ):
+            with pytest.raises(ServingError, match="bad request record"):
+                request_from_json({**base, **corrupt})
+
+    def test_missing_fields_raise_serving_error(self):
+        with pytest.raises(ServingError, match="bad request record"):
+            request_from_json({"kind": "lstm"})
+
+    def test_where_names_the_source(self):
+        with pytest.raises(ServingError, match="bad socket peer"):
+            request_from_json([1], where="socket peer")
