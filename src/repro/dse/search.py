@@ -9,6 +9,7 @@ import numpy as np
 from repro.errors import DSEError
 from repro.dse.space import ParameterSpace
 from repro.mapping.mapper import MappedDesign, map_rnn_program
+from repro.mapping.passes import PassConfig
 from repro.plasticine.chip import PlasticineConfig
 from repro.plasticine.simulator import simulate_pipeline
 from repro.rnn.gru_loop import build_gru_program
@@ -54,6 +55,8 @@ class SearchPoint:
     fits: bool
     pcus_used: int
     pmus_used: int
+    #: Which optimization passes produced this point (compiler axis).
+    pass_config: PassConfig = PassConfig()
 
     @property
     def latency_s(self) -> float:
@@ -83,10 +86,13 @@ def evaluate(
     *,
     bits: int = 8,
     require_capacity: bool = False,
+    pass_config: PassConfig | None = None,
 ) -> SearchPoint:
     """Map and simulate one candidate point."""
     prog = build_task_program(task, params)
-    design: MappedDesign = map_rnn_program(prog, chip, bits=bits)
+    design: MappedDesign = map_rnn_program(
+        prog, chip, bits=bits, pass_config=pass_config
+    )
     sim = simulate_pipeline(design.graph)
     res = design.resources
     fits = res.fits_compute and res.fits_bandwidth
@@ -99,6 +105,7 @@ def evaluate(
         fits=fits,
         pcus_used=res.pcus_used,
         pmus_used=res.pmus_used,
+        pass_config=pass_config or PassConfig(),
     )
 
 
@@ -122,8 +129,15 @@ def search(
     chip = chip or PlasticineConfig.rnn_serving()
     space = space or ParameterSpace()
     points = [
-        evaluate(task, params, chip, bits=bits, require_capacity=require_capacity)
-        for params in space.candidates(task, chip, bits)
+        evaluate(
+            task,
+            params,
+            chip,
+            bits=bits,
+            require_capacity=require_capacity,
+            pass_config=pass_config,
+        )
+        for params, pass_config in space.configurations(task, chip, bits)
     ]
     if not points:
         raise DSEError(f"no candidate points for {task.name}")

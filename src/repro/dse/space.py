@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import DSEError
+from repro.mapping.passes import PassConfig
 from repro.plasticine.chip import PlasticineConfig
 from repro.rnn.lstm_loop import LoopParams
 from repro.workloads.deepbench import RNNTask
@@ -21,16 +22,38 @@ class ParameterSpace:
     precision (lanes x packing = 64 at 8-bit): a smaller rv wastes lanes,
     a larger one gangs PCUs per MapReduce unit, which the search covers
     through ``ru`` instead.
+
+    ``pass_configs`` is the compiler axis: which optimization-pass
+    configurations (:class:`~repro.mapping.passes.PassConfig`) to try at
+    every loop-parameter point.  The default searches loop parameters
+    only; pass e.g. ``ParameterSpace.with_pass_axis()`` to also search
+    ``fuse_gates`` / ``double_buffer``.
     """
 
     max_hu: int = 12
     ru_choices: tuple[int, ...] = (1, 2, 4, 8, 16)
+    pass_configs: tuple[PassConfig, ...] = (PassConfig(),)
 
     def __post_init__(self) -> None:
         if self.max_hu < 1 or not self.ru_choices:
             raise DSEError("empty parameter space")
         if any(r < 1 for r in self.ru_choices):
             raise DSEError("ru must be >= 1")
+        if not self.pass_configs:
+            raise DSEError("empty pass-config axis")
+
+    @classmethod
+    def with_pass_axis(cls, **kwargs) -> "ParameterSpace":
+        """A space that also searches every optimization-pass combination."""
+        return cls(
+            pass_configs=(
+                PassConfig(),
+                PassConfig(fuse_gates=True),
+                PassConfig(double_buffer=True),
+                PassConfig(fuse_gates=True, double_buffer=True),
+            ),
+            **kwargs,
+        )
 
     def rv_for(self, chip: PlasticineConfig, bits: int) -> int:
         return chip.dot_lanes_per_pcu(bits)
@@ -56,3 +79,11 @@ class ParameterSpace:
                 if shape.gates * hu * ru > chip.usable_pcus:
                     continue
                 yield LoopParams(hu=hu, ru=ru, rv=rv)
+
+    def configurations(
+        self, task: RNNTask, chip: PlasticineConfig, bits: int = 8
+    ) -> Iterator[tuple[LoopParams, PassConfig]]:
+        """Yield the full search grid: loop parameters x pass configs."""
+        for params in self.candidates(task, chip, bits):
+            for pass_config in self.pass_configs:
+                yield params, pass_config

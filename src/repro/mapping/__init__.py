@@ -5,15 +5,30 @@
   edges; what the cycle simulator executes.
 * :mod:`repro.mapping.resources` — resource accounting (PCUs, PMUs,
   scratchpad bytes) and fit checking.
-* :mod:`repro.mapping.mapper` — recognizes the paper's RNN loop idiom in
-  a trace and builds the placed pipeline graph (Section 4's mapping:
-  Reduce loops onto PCU map-reduce pipelines, element-wise chains onto
-  chained PCUs, memories onto PMUs).
+* :mod:`repro.mapping.mapper` — the lowering vocabulary (GateGroup,
+  MappedDesign, the greedy placer, structure recognition) plus the
+  legacy monolithic lowering kept as the golden reference.
+* :mod:`repro.mapping.passes` — the compiler pass pipeline that now
+  implements the Section 4 lowering: a ``MappingPass`` registry and a
+  ``PassManager`` threading a ``MappingState`` through
+  recognize → plan → place → route → fold → report, with optional
+  ``fuse_gates`` / ``double_buffer`` optimization passes behind
+  :class:`PassConfig`.
 """
 
 from repro.mapping.pipeline import PipelineGraph, Stage
 from repro.mapping.resources import ResourceReport, resource_report
 from repro.mapping.mapper import MappedDesign, map_rnn_program
+from repro.mapping.passes import (
+    MappingPass,
+    MappingState,
+    PassConfig,
+    PassManager,
+    available_passes,
+    design_fingerprint,
+    diff_designs,
+    register_pass,
+)
 
 __all__ = [
     "PipelineGraph",
@@ -22,4 +37,12 @@ __all__ = [
     "resource_report",
     "MappedDesign",
     "map_rnn_program",
+    "MappingPass",
+    "MappingState",
+    "PassConfig",
+    "PassManager",
+    "available_passes",
+    "design_fingerprint",
+    "diff_designs",
+    "register_pass",
 ]

@@ -1,5 +1,15 @@
 """Lowering RNN loop nests onto Plasticine (paper Section 4).
 
+The canonical implementation of the lowering now lives in
+:mod:`repro.mapping.passes` as a pass pipeline over a mapping IR;
+:func:`map_rnn_program` here is a thin wrapper that runs the default
+pipeline.  This module keeps the shared lowering vocabulary — the
+:class:`GateGroup` / :class:`MappedDesign` data model, the greedy
+:class:`_Placer`, structure recognition and the latency helpers — plus
+the original single-function lowering as :func:`_map_rnn_monolith`, the
+golden reference that the pass pipeline is differentially tested
+against (``tests/test_pass_pipeline_parity.py``).
+
 The mapper recognizes the RNN serving idiom in a traced program:
 
 .. code-block:: text
@@ -30,7 +40,7 @@ distances rather than constants.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import MappingError
 from repro.mapping.pipeline import PipelineGraph, Stage
@@ -83,6 +93,11 @@ class MappedDesign:
     n_iterations: int
     steps: int
     bits: int
+    #: Names of the compiler passes that produced this design, in run
+    #: order; empty for designs built by the legacy monolith.
+    passes_applied: tuple[str, ...] = field(default=(), compare=False)
+    #: Per-pass wall-clock timings (observability; see PassManager).
+    pass_timings: tuple = field(default=(), repr=False, compare=False)
 
     @property
     def ru(self) -> int:
@@ -94,14 +109,27 @@ class MappedDesign:
 
 
 class _Placer:
-    """Greedy nearest-available allocation of grid units."""
+    """Greedy nearest-available allocation of grid units.
+
+    Tracks how many requests could not be satisfied by physical units
+    (``overflow_pcus`` / ``overflow_pmus``); overflowed requests are
+    synthesized at the grid-edge coordinate so timing stays defined, and
+    the resource report carries an explicit overflow note.
+    """
 
     def __init__(self, chip: PlasticineConfig):
         self.chip = chip
         self.free_pcus = list(chip.layout.pcus)
         self.free_pmus = list(chip.layout.pmus)
+        self.overflow_pcus = 0
+        self.overflow_pmus = 0
 
-    def _take(self, pool: list[Coord], k: int, near: Coord) -> list[Coord]:
+    @property
+    def edge_coord(self) -> Coord:
+        """Where overflowed requests are synthesized."""
+        return (self.chip.layout.rows - 1, self.chip.layout.cols - 1)
+
+    def _take(self, pool: list[Coord], k: int, near: Coord) -> tuple[list[Coord], int]:
         if k > len(pool):
             # Out of physical units: synthesize overflow coordinates at the
             # grid edge so timing stays defined; the resource report flags
@@ -109,19 +137,42 @@ class _Placer:
             pool_sorted = sorted(pool, key=lambda p: self.chip.layout.manhattan(near, p))
             taken = list(pool_sorted)
             del pool[:]
-            edge = (self.chip.layout.rows - 1, self.chip.layout.cols - 1)
-            taken.extend([edge] * (k - len(taken)))
-            return taken
+            overflow = k - len(taken)
+            taken.extend([self.edge_coord] * overflow)
+            return taken, overflow
         pool.sort(key=lambda p: self.chip.layout.manhattan(near, p))
         taken = pool[:k]
         del pool[:k]
-        return taken
+        return taken, 0
 
     def take_pcus(self, k: int, near: Coord) -> list[Coord]:
-        return self._take(self.free_pcus, k, near)
+        taken, overflow = self._take(self.free_pcus, k, near)
+        self.overflow_pcus += overflow
+        return taken
 
     def take_pmus(self, k: int, near: Coord) -> list[Coord]:
-        return self._take(self.free_pmus, k, near)
+        taken, overflow = self._take(self.free_pmus, k, near)
+        self.overflow_pmus += overflow
+        return taken
+
+    def release_pcus(self, coords: list[Coord]) -> None:
+        """Return previously taken PCUs to the free pool (pass rewrites)."""
+        self.free_pcus.extend(c for c in coords if c != self.edge_coord)
+
+    def release_pmus(self, coords: list[Coord]) -> None:
+        """Return previously taken PMUs to the free pool (pass rewrites)."""
+        self.free_pmus.extend(c for c in coords if c != self.edge_coord)
+
+
+def _overflow_note(placer: _Placer) -> str | None:
+    """The resource-report note flagging placement overflow, if any."""
+    if not (placer.overflow_pcus or placer.overflow_pmus):
+        return None
+    return (
+        f"placement overflow: {placer.overflow_pcus} PCU + "
+        f"{placer.overflow_pmus} PMU requests beyond the grid "
+        f"(synthesized at the edge)"
+    )
 
 
 def _centroid(coords: list[Coord]) -> Coord:
@@ -209,8 +260,16 @@ def map_rnn_program(
     *,
     bits: int = 8,
     seq_sync_cycles: int = SEQ_SYNC_CYCLES,
+    pass_config=None,
+    passes=None,
+    verify: bool = True,
 ) -> MappedDesign:
     """Lower a loop-based RNN program onto a Plasticine configuration.
+
+    Runs the compiler pass pipeline (:mod:`repro.mapping.passes`); the
+    default pipeline is proven bit-identical to the original monolithic
+    lowering (kept as :func:`_map_rnn_monolith`) by the differential
+    parity suite.
 
     Args:
         prog: A program built by :func:`repro.rnn.build_lstm_program` or
@@ -220,9 +279,40 @@ def map_rnn_program(
         bits: Weight/multiply precision (8, 16, or 32) — determines the
             per-PCU dot width via packing.
         seq_sync_cycles: Sequential-loop control overhead per step.
+        pass_config: A :class:`~repro.mapping.passes.PassConfig` enabling
+            optimization passes (``fuse_gates``, ``double_buffer``); the
+            default runs the plain pipeline.
+        passes: Explicit pass names (or instances) overriding the
+            pipeline entirely; ``pass_config`` is ignored when given.
+        verify: Run the IR verifier after every pass (cheap; on by
+            default).
 
     Returns:
         A :class:`MappedDesign` with the placed pipeline graph.
+    """
+    from repro.mapping.passes import PassManager
+
+    if passes is not None:
+        manager = PassManager(list(passes), verify=verify)
+    else:
+        manager = PassManager.default(pass_config, verify=verify)
+    state = manager.run_program(
+        prog, chip=chip, bits=bits, seq_sync_cycles=seq_sync_cycles
+    )
+    return state.design
+
+
+def _map_rnn_monolith(
+    prog: Program,
+    chip: PlasticineConfig | None = None,
+    *,
+    bits: int = 8,
+    seq_sync_cycles: int = SEQ_SYNC_CYCLES,
+) -> MappedDesign:
+    """The original single-function lowering (pre-pass-pipeline).
+
+    Kept temporarily as the golden reference for the differential parity
+    suite and the CI parity smoke; new behavior goes into the passes.
     """
     chip = chip or PlasticineConfig.rnn_serving()
     root = prog.trace()
@@ -355,6 +445,9 @@ def map_rnn_program(
     if xh_copies:
         state_bytes = state_bytes * (1 + xh_copies)
         notes.append(f"[x,h] replicated {xh_copies}x for dot-PCU bandwidth")
+    overflow = _overflow_note(placer)
+    if overflow:
+        notes.append(overflow)
     resources = resource_report(
         graph,
         chip,

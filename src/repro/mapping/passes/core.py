@@ -1,0 +1,454 @@
+"""The mapping IR and the pass-pipeline machinery.
+
+The Section 4 lowering is structured as a sequence of small passes over
+a :class:`MappingState` — the mapping IR.  Each pass reads what earlier
+passes produced and adds one layer:
+
+``recognize_rnn``
+    trace the program and locate the time-step loop, the cell loop and
+    the gate reduce groups;
+``plan_gates``
+    turn the recognized structure into a stage skeleton (names, IIs,
+    placement-independent latencies, per-replica resource needs);
+``place_units``
+    allocate physical PCUs/PMUs on the grid (greedy nearest-available,
+    identical to the legacy monolith's order);
+``route_edges``
+    derive routed edge costs and the placement-dependent latency terms
+    (reduction trees, the writeback broadcast) from real Manhattan
+    distances;
+``fold_luts``
+    fold each gate's non-linearity into its accumulate stage's PMU
+    lookup table (the LUT access latency);
+``report_resources``
+    freeze the drafts into a :class:`~repro.mapping.pipeline.PipelineGraph`,
+    tally the :class:`~repro.mapping.resources.ResourceReport` and build
+    the final :class:`~repro.mapping.mapper.MappedDesign`.
+
+Two optimization passes the monolith could not express are gated behind
+:class:`PassConfig`: ``fuse_gates`` and ``double_buffer`` (see
+:mod:`repro.mapping.passes.optimize`).
+
+Passes register under string names exactly like schedulers, batchers and
+fault policies do::
+
+    @register_pass("my_pass")
+    class MyPass(MappingPass):
+        requires = ("place_units",)
+        def run(self, state): ...
+
+The :class:`PassManager` threads one :class:`MappingState` through an
+ordered pipeline, enforcing each pass's ``requires`` declaration
+*before* the pass runs (an illegal ordering raises
+:class:`~repro.errors.MappingError` without touching the state), timing
+every pass, and — by default — running the IR verifier
+(:func:`~repro.mapping.passes.verify.verify_state`) after every pass.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import MappingError
+from repro.mapping.mapper import SEQ_SYNC_CYCLES, GateGroup, MappedDesign, _Placer
+from repro.mapping.pipeline import PipelineGraph
+from repro.mapping.resources import ResourceReport
+from repro.plasticine.chip import PlasticineConfig
+from repro.plasticine.network import Coord
+from repro.spatial.builder import Program
+from repro.spatial.ir import LoopRecord
+
+__all__ = [
+    "PassConfig",
+    "StageDraft",
+    "EdgeDraft",
+    "GatePlan",
+    "EwPlan",
+    "PassTiming",
+    "MappingState",
+    "MappingPass",
+    "PassManager",
+    "register_pass",
+    "unregister_pass",
+    "get_pass",
+    "available_passes",
+    "DEFAULT_PIPELINE",
+]
+
+#: The default lowering pipeline, in order.  Optimization passes are
+#: spliced in between ``fold_luts`` and ``report_resources``.
+DEFAULT_PIPELINE: tuple[str, ...] = (
+    "recognize_rnn",
+    "plan_gates",
+    "place_units",
+    "route_edges",
+    "fold_luts",
+    "report_resources",
+)
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Which optimization passes to splice into the default pipeline.
+
+    Frozen and hashable so it can serve as a DSE axis
+    (:class:`repro.dse.space.ParameterSpace.pass_configs`).
+    """
+
+    #: Merge compatible accumulate stages into one fused chain placed
+    #: next to the element-wise stage (fewer PCUs, shorter routes).
+    fuse_gates: bool = False
+    #: Double-buffer the ``[x, h]`` copies so the state writeback
+    #: overlaps the next step's load, cutting ``SEQ_SYNC_CYCLES``
+    #: exposure (fewer cycles, more PMUs + state bytes).
+    double_buffer: bool = False
+
+    def optimization_names(self) -> tuple[str, ...]:
+        names = []
+        if self.fuse_gates:
+            names.append("fuse_gates")
+        if self.double_buffer:
+            names.append("double_buffer")
+        return tuple(names)
+
+    @property
+    def key(self) -> str:
+        """Short stable label for tables and artifacts."""
+        opts = self.optimization_names()
+        return "+".join(opts) if opts else "default"
+
+
+@dataclass
+class StageDraft:
+    """A pipeline stage under construction (the IR analogue of
+    :class:`~repro.mapping.pipeline.Stage`, mutable so passes can refine
+    it layer by layer).
+
+    ``units_pcu`` / ``units_pmu`` hold every physical unit the stage
+    occupies across all replicas; ``n_pcus`` / ``n_pmus`` stay
+    per-replica, exactly like the final frozen stage.
+    """
+
+    name: str
+    ii: int
+    latency: int
+    n_pcus: int = 0
+    n_pmus: int = 0
+    coord: Coord | None = None
+    role: str = ""
+    units_pcu: tuple[Coord, ...] = ()
+    units_pmu: tuple[Coord, ...] = ()
+
+
+@dataclass
+class EdgeDraft:
+    """A dataflow edge under construction; ``route is None`` until
+    ``route_edges`` derives its cost from placement."""
+
+    src: str
+    dst: str
+    route: int | None = None
+
+
+@dataclass
+class GatePlan:
+    """Per-gate lowering decisions, threaded from planning to routing."""
+
+    gate: GateGroup
+    dot_name: str
+    accum_name: str
+    pcus_per_unit: int
+    n_dot_pcus: int
+    accum_pcus: int
+    #: Length of the accumulate chain (cross-PCU tree adds), before the
+    #: bias add and LUT access — what ``fuse_gates`` packs together.
+    accum_chain_ops: int
+    # -- filled by place_units ------------------------------------------
+    dot_pcus: tuple[Coord, ...] = ()
+    replica0: tuple[Coord, ...] = ()
+    weight_pmus: tuple[Coord, ...] = ()
+    xh_pmus: tuple[Coord, ...] = ()
+    accum_units: tuple[Coord, ...] = ()
+    lut_pmus: tuple[Coord, ...] = ()
+    #: Set by ``fuse_gates`` when this gate's accum was merged away.
+    fused_into: str | None = None
+
+
+@dataclass
+class EwPlan:
+    """Element-wise chain plan (ops, PCU chain length, extra LUTs)."""
+
+    ew_ops: int
+    ew_pcus: int
+    extra_luts: int
+    ew_n_pmus: int
+    ew_units: tuple[Coord, ...] = ()
+    ew_pmu_units: tuple[Coord, ...] = ()
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock cost of one pass run (observability hook)."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class MappingState:
+    """The mapping IR: everything the passes produce, in one place.
+
+    Lifecycle — each field block is owned by the pass that writes it:
+    recognized loop structure (``recognize_rnn``) → stage skeleton
+    (``plan_gates``) → placement + unit ledger (``place_units``) →
+    routed edges (``route_edges``) → folded LUTs (``fold_luts``) →
+    final graph/resources/design (``report_resources``).
+    """
+
+    prog: Program
+    chip: PlasticineConfig
+    bits: int = 8
+    seq_sync_cycles: int = SEQ_SYNC_CYCLES
+
+    # -- recognize_rnn ----------------------------------------------------
+    root: LoopRecord | None = None
+    steps_loop: LoopRecord | None = None
+    cell: LoopRecord | None = None
+    gates: tuple[GateGroup, ...] = ()
+    hu: int = 0
+    n_iterations: int = 0
+    steps: int = 0
+
+    # -- plan_gates -------------------------------------------------------
+    stages: dict[str, StageDraft] = field(default_factory=dict)
+    edges: list[EdgeDraft] = field(default_factory=list)
+    gate_plans: list[GatePlan] = field(default_factory=list)
+    ew_plan: EwPlan | None = None
+
+    # -- place_units ------------------------------------------------------
+    placer: _Placer | None = None
+    anchor: Coord | None = None
+    ew_anchor: Coord | None = None
+    state_pmu_coords: list[Coord] = field(default_factory=list)
+    accum_coords: list[Coord] = field(default_factory=list)
+    #: Unit ledger: physical units handed out by the placer (take minus
+    #: release).  The verifier checks it against the stage drafts.
+    pcus_allocated: int = 0
+    pmus_allocated: int = 0
+
+    # -- optimization passes ----------------------------------------------
+    luts_folded: bool = False
+    fused_groups: list[tuple[str, tuple[str, ...]]] = field(default_factory=list)
+    double_buffered: bool = False
+    double_buffer_pmus: list[Coord] = field(default_factory=list)
+    #: Effective Sequential-step overhead; ``None`` means the plain
+    #: ``seq_sync_cycles`` (``double_buffer`` lowers it).
+    step_overhead: int | None = None
+
+    # -- report_resources -------------------------------------------------
+    graph: PipelineGraph | None = None
+    resources: ResourceReport | None = None
+    design: MappedDesign | None = None
+
+    # -- bookkeeping ------------------------------------------------------
+    completed: list[str] = field(default_factory=list)
+    timings: list[PassTiming] = field(default_factory=list)
+    trace_log: list[str] = field(default_factory=list)
+
+    # -- IR manipulation helpers -----------------------------------------
+
+    def log(self, message: str) -> None:
+        """Append a per-pass trace message (observability)."""
+        self.trace_log.append(message)
+
+    def stage(self, name: str) -> StageDraft:
+        try:
+            return self.stages[name]
+        except KeyError:
+            raise MappingError(f"no stage {name!r} in the mapping IR") from None
+
+    def add_stage(self, draft: StageDraft) -> StageDraft:
+        if draft.name in self.stages:
+            raise MappingError(f"duplicate stage {draft.name!r} in the mapping IR")
+        self.stages[draft.name] = draft
+        return draft
+
+    def add_edge(self, src: str, dst: str, route: int | None = None) -> EdgeDraft:
+        for name in (src, dst):
+            if name not in self.stages:
+                raise MappingError(f"edge endpoint {name!r} is not a stage")
+        edge = EdgeDraft(src, dst, route)
+        self.edges.append(edge)
+        return edge
+
+    def edge(self, src: str, dst: str) -> EdgeDraft:
+        for edge in self.edges:
+            if edge.src == src and edge.dst == dst:
+                return edge
+        raise MappingError(f"no edge {src!r} -> {dst!r} in the mapping IR")
+
+
+class MappingPass(ABC):
+    """One rewrite step over the :class:`MappingState`.
+
+    Subclasses declare ``requires`` — the names of passes that must have
+    completed first.  The :class:`PassManager` enforces the declaration
+    before invoking :meth:`run`, so an illegally ordered pass raises
+    :class:`~repro.errors.MappingError` without corrupting the state.
+    """
+
+    #: Registry key; set by :func:`register_pass`.
+    name: str = "?"
+    #: Pass names that must appear in ``state.completed`` first.
+    requires: tuple[str, ...] = ()
+
+    @abstractmethod
+    def run(self, state: MappingState) -> None:
+        """Apply this pass's rewrite to the state, in place."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, type[MappingPass]] = {}
+
+P = TypeVar("P", bound=type)
+
+
+def register_pass(name: str) -> Callable[[P], P]:
+    """Class decorator registering a :class:`MappingPass` under a name.
+
+    Example::
+
+        >>> from repro.mapping.passes import MappingPass, register_pass
+        >>> from repro.mapping.passes import available_passes, unregister_pass
+        >>> @register_pass("noop")
+        ... class Noop(MappingPass):
+        ...     def run(self, state):
+        ...         pass
+        >>> "noop" in available_passes()
+        True
+        >>> unregister_pass("noop")
+    """
+
+    def decorate(cls: P) -> P:
+        if not (isinstance(cls, type) and issubclass(cls, MappingPass)):
+            raise MappingError(
+                f"@register_pass({name!r}) needs a MappingPass subclass"
+            )
+        if name in _REGISTRY:
+            raise MappingError(f"mapping pass {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def unregister_pass(name: str) -> None:
+    """Remove a registered pass (tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_pass(name: str) -> type[MappingPass]:
+    """Look up a registered pass class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MappingError(f"unknown mapping pass {name!r} (known: {known})") from None
+
+
+def available_passes() -> tuple[str, ...]:
+    """Names of all registered passes, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+class PassManager:
+    """Runs an ordered pipeline of passes over one :class:`MappingState`.
+
+    * enforces each pass's ``requires`` declaration and rejects running
+      the same pass twice;
+    * records a :class:`PassTiming` per pass;
+    * optionally runs the IR verifier after every pass (``verify=True``)
+      and calls ``trace_hook(pass_name, state, seconds)`` after each pass.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[MappingPass | str],
+        *,
+        verify: bool = True,
+        trace_hook: Callable[[str, MappingState, float], None] | None = None,
+    ):
+        if not passes:
+            raise MappingError("empty pass pipeline")
+        self.passes: list[MappingPass] = [
+            get_pass(p)() if isinstance(p, str) else p for p in passes
+        ]
+        self.verify = verify
+        self.trace_hook = trace_hook
+
+    @classmethod
+    def default(
+        cls,
+        config: PassConfig | None = None,
+        *,
+        verify: bool = True,
+        trace_hook: Callable[[str, MappingState, float], None] | None = None,
+    ) -> "PassManager":
+        """The default pipeline, with ``config``'s optimization passes
+        spliced in before ``report_resources``."""
+        config = config or PassConfig()
+        names = (
+            DEFAULT_PIPELINE[:-1]
+            + config.optimization_names()
+            + DEFAULT_PIPELINE[-1:]
+        )
+        return cls(names, verify=verify, trace_hook=trace_hook)
+
+    @property
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def run(self, state: MappingState) -> MappingState:
+        from repro.mapping.passes.verify import verify_state
+
+        for p in self.passes:
+            missing = [r for r in p.requires if r not in state.completed]
+            if missing:
+                raise MappingError(
+                    f"pass {p.name!r} requires {', '.join(missing)} to run first"
+                )
+            if p.name in state.completed:
+                raise MappingError(f"pass {p.name!r} already ran on this state")
+            t0 = time.perf_counter()
+            p.run(state)
+            dt = time.perf_counter() - t0
+            state.completed.append(p.name)
+            state.timings.append(PassTiming(p.name, dt))
+            if self.verify:
+                verify_state(state)
+            if self.trace_hook is not None:
+                self.trace_hook(p.name, state, dt)
+        return state
+
+    def run_program(
+        self,
+        prog: Program,
+        chip: PlasticineConfig | None = None,
+        *,
+        bits: int = 8,
+        seq_sync_cycles: int = SEQ_SYNC_CYCLES,
+    ) -> MappingState:
+        """Build a fresh state for ``prog`` and run the pipeline."""
+        state = MappingState(
+            prog=prog,
+            chip=chip or PlasticineConfig.rnn_serving(),
+            bits=bits,
+            seq_sync_cycles=seq_sync_cycles,
+        )
+        return self.run(state)

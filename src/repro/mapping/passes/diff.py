@@ -1,0 +1,90 @@
+"""Differential comparison of mapped designs.
+
+:func:`design_fingerprint` flattens a
+:class:`~repro.mapping.mapper.MappedDesign` into a JSON-able dict of
+everything observable — stage coords, IIs, latencies, per-replica
+resources, routed edge costs, graph meta and the full resource report —
+and :func:`diff_designs` reports every field where two designs disagree.
+The parity suite, the CI parity smoke and ``bench_pass_pipeline``
+all compare through this one lens.
+
+(Designs are compared by fingerprint, never by ``==``: the recognized
+``GateGroup`` records hold the traced loop tree, whose parent/child
+links make naive dataclass equality recurse.)
+"""
+
+from __future__ import annotations
+
+from repro.mapping.mapper import MappedDesign
+
+__all__ = ["design_fingerprint", "diff_designs"]
+
+
+def design_fingerprint(design: MappedDesign) -> dict:
+    """Flatten a design into a JSON-able dict for differential testing."""
+    graph = design.graph
+    res = design.resources
+    return {
+        "program": design.program_name,
+        "chip": design.chip.name,
+        "bits": design.bits,
+        "hu": design.hu,
+        "n_iterations": design.n_iterations,
+        "steps": design.steps,
+        "gates": [g.name for g in design.gates],
+        "graph": {
+            "replicas": graph.replicas,
+            "step_overhead": graph.step_overhead,
+            "bottleneck_ii": graph.bottleneck_ii,
+            "critical_path_cycles": graph.critical_path_cycles(),
+            "analytic_step_cycles": graph.analytic_step_cycles(),
+        },
+        "stages": [
+            {
+                "name": s.name,
+                "ii": s.ii,
+                "latency": s.latency,
+                "n_pcus": s.n_pcus,
+                "n_pmus": s.n_pmus,
+                "coord": list(s.coord) if s.coord is not None else None,
+            }
+            for s in graph.stages.values()
+        ],
+        "edges": [[src, dst, route] for src, dst, route in graph.edges],
+        "resources": {
+            "pcus_used": res.pcus_used,
+            "pmus_used": res.pmus_used,
+            "pcus_available": res.pcus_available,
+            "pmus_available": res.pmus_available,
+            "weight_bytes": res.weight_bytes,
+            "state_bytes": res.state_bytes,
+            "lut_bytes": res.lut_bytes,
+            "onchip_bytes": res.onchip_bytes,
+            "notes": list(res.notes),
+        },
+    }
+
+
+def _walk(prefix: str, a, b, out: list[str]) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                out.append(f"{prefix}.{key}: only in B ({b[key]!r})")
+            elif key not in b:
+                out.append(f"{prefix}.{key}: only in A ({a[key]!r})")
+            else:
+                _walk(f"{prefix}.{key}", a[key], b[key], out)
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            out.append(f"{prefix}: length {len(a)} vs {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            _walk(f"{prefix}[{i}]", x, y, out)
+    elif a != b:
+        out.append(f"{prefix}: {a!r} vs {b!r}")
+
+
+def diff_designs(a: MappedDesign, b: MappedDesign) -> list[str]:
+    """Human-readable field-by-field differences (empty == identical)."""
+    out: list[str] = []
+    _walk("design", design_fingerprint(a), design_fingerprint(b), out)
+    return out

@@ -1,0 +1,57 @@
+"""``route_edges``: derive edge costs and placement-dependent latency.
+
+Every dataflow edge gets its routed cost from real Manhattan distances
+on the placed units (worst case over the replicas it feeds), and the two
+latency terms that only exist once placement is known land on their
+stages: the cross-PCU reduction tree on each accumulate stage and the
+state-broadcast on the writeback stage.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.mapper import _tree_latency
+from repro.mapping.passes.core import MappingPass, MappingState, register_pass
+
+__all__ = ["RouteEdges"]
+
+
+@register_pass("route_edges")
+class RouteEdges(MappingPass):
+    """Route all edges and add tree/broadcast latencies from placement."""
+
+    requires = ("place_units",)
+
+    def run(self, state: MappingState) -> None:
+        chip = state.chip
+        layout = chip.layout
+        hop = chip.hop_latency
+
+        for plan in state.gate_plans:
+            accum = state.stage(plan.accum_name)
+            state.edge("load_x", plan.dot_name).route = max(
+                layout.route_cycles(state.anchor, p, hop) for p in plan.dot_pcus
+            )
+            state.edge(plan.dot_name, plan.accum_name).route = max(
+                layout.route_cycles(p, accum.coord, hop) for p in plan.replica0
+            )
+            # Cross-PCU reduction tree over the ru partial sums.
+            tree = (
+                _tree_latency(list(plan.replica0), chip) if plan.gate.ru > 1 else 0
+            )
+            accum.latency += tree
+
+        ew = state.stage("ew")
+        for plan in state.gate_plans:
+            accum = state.stage(plan.accum_name)
+            state.edge(plan.accum_name, "ew").route = layout.route_cycles(
+                accum.coord, ew.coord, hop
+            )
+
+        # State writeback: broadcast the h element to every [x, h] copy.
+        writeback = state.stage("writeback")
+        broadcast = max(
+            layout.route_cycles(ew.coord, pmu, hop) for pmu in state.state_pmu_coords
+        )
+        writeback.latency += broadcast
+        state.edge("ew", "writeback").route = 0
+        state.log(f"routed {len(state.edges)} edges, writeback broadcast={broadcast}")

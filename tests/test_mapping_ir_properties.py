@@ -1,0 +1,248 @@
+"""Seeded property tests for the mapping IR and its verifier.
+
+Random pass orderings over random well-formed programs: every *legal*
+ordering (a topological order of the passes' `requires` DAG) completes
+with the IR verifier green after every pass and produces the identical
+design; every *illegal* ordering raises MappingError up front and never
+corrupts the state — the surviving state still verifies and can be
+finished by a legal continuation to the same design.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.search import build_task_program
+from repro.errors import MappingError
+from repro.mapping.mapper import SEQ_SYNC_CYCLES
+from repro.mapping.passes import (
+    DEFAULT_PIPELINE,
+    MappingPass,
+    MappingState,
+    PassManager,
+    available_passes,
+    design_fingerprint,
+    get_pass,
+    register_pass,
+    unregister_pass,
+    verify_state,
+)
+from repro.plasticine.chip import PlasticineConfig
+from repro.rnn.lstm_loop import LoopParams
+from repro.workloads.deepbench import RNNTask
+
+
+def _random_program(rng: random.Random):
+    kind = rng.choice(["lstm", "gru"])
+    hidden = rng.choice([64, 128, 192, 256, 384])
+    timesteps = rng.randint(1, 6)
+    params = LoopParams(
+        hu=rng.choice([1, 2, 3, 4]),
+        ru=rng.choice([1, 2, 4]),
+        rv=rng.choice([16, 64]),
+    )
+    return build_task_program(RNNTask(kind, hidden, timesteps), params)
+
+
+def _fresh_state(prog) -> MappingState:
+    return MappingState(
+        prog=prog,
+        chip=PlasticineConfig.rnn_serving(),
+        bits=8,
+        seq_sync_cycles=SEQ_SYNC_CYCLES,
+    )
+
+
+def _is_legal(order) -> bool:
+    done = set()
+    for name in order:
+        if any(r not in done for r in get_pass(name)().requires):
+            return False
+        done.add(name)
+    return True
+
+
+def _all_legal_orders(names=DEFAULT_PIPELINE):
+    return [p for p in itertools.permutations(names) if _is_legal(p)]
+
+
+class TestPassOrderings:
+    def test_every_legal_order_yields_the_identical_design(self):
+        # The default passes commute wherever the requires DAG allows:
+        # fold_luts may run in any position after plan_gates.
+        prog = build_task_program(RNNTask("lstm", 128, 2), LoopParams(hu=2, ru=2, rv=64))
+        orders = _all_legal_orders()
+        assert len(orders) > 1  # fold_luts really is mobile
+        fingerprints = [
+            design_fingerprint(
+                PassManager(list(order)).run(_fresh_state(prog)).design
+            )
+            for order in orders
+        ]
+        assert all(fp == fingerprints[0] for fp in fingerprints[1:])
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_order_completes_or_raises_cleanly(self, seed):
+        rng = random.Random(seed)
+        prog = _random_program(rng)
+        order = list(DEFAULT_PIPELINE)
+        rng.shuffle(order)
+        state = _fresh_state(prog)
+        if _is_legal(order):
+            PassManager(order).run(state)
+            assert state.design is not None
+            verify_state(state)
+        else:
+            with pytest.raises(MappingError):
+                PassManager(order).run(state)
+            # Never corrupt state: whatever did complete still verifies,
+            # and the failed pass left no trace in the completed list.
+            verify_state(state)
+            assert _is_legal(state.completed)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_illegal_order_state_is_resumable(self, seed):
+        rng = random.Random(seed)
+        prog = _random_program(rng)
+        order = list(DEFAULT_PIPELINE)
+        while True:
+            rng.shuffle(order)
+            if not _is_legal(order):
+                break
+        state = _fresh_state(prog)
+        with pytest.raises(MappingError):
+            PassManager(order).run(state)
+        # Finish with any legal continuation of the remaining passes:
+        remaining = [n for n in DEFAULT_PIPELINE if n not in state.completed]
+        PassManager(remaining).run(state)
+        reference = PassManager(list(DEFAULT_PIPELINE)).run(_fresh_state(prog))
+        assert design_fingerprint(state.design) == design_fingerprint(
+            reference.design
+        )
+
+    def test_route_before_place_raises(self):
+        prog = _random_program(random.Random(0))
+        state = _fresh_state(prog)
+        with pytest.raises(MappingError, match="requires place_units"):
+            PassManager(["recognize_rnn", "plan_gates", "route_edges"]).run(state)
+        assert state.completed == ["recognize_rnn", "plan_gates"]
+
+    def test_same_pass_twice_raises(self):
+        prog = _random_program(random.Random(1))
+        state = _fresh_state(prog)
+        with pytest.raises(MappingError, match="already ran"):
+            PassManager(["recognize_rnn", "recognize_rnn"]).run(state)
+
+
+class TestVerifierProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_verifier_green_after_every_pass_on_random_programs(self, seed):
+        rng = random.Random(seed)
+        prog = _random_program(rng)
+        checked = []
+
+        def hook(name, state, seconds):
+            verify_state(state)
+            checked.append(name)
+            assert seconds >= 0
+
+        PassManager(list(DEFAULT_PIPELINE), trace_hook=hook).run(_fresh_state(prog))
+        assert checked == list(DEFAULT_PIPELINE)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_optimization_passes_keep_the_verifier_green(self, seed):
+        rng = random.Random(seed)
+        prog = _random_program(rng)
+        order = list(DEFAULT_PIPELINE[:-1]) + ["fuse_gates", "double_buffer"] + [
+            DEFAULT_PIPELINE[-1]
+        ]
+        state = PassManager(order).run(_fresh_state(prog))
+        assert state.design.passes_applied == tuple(order)
+
+    def test_verifier_catches_corrupted_latency(self):
+        prog = _random_program(random.Random(2))
+        state = _fresh_state(prog)
+        PassManager(["recognize_rnn", "plan_gates"]).run(state)
+        state.stage("ew").latency = -1
+        with pytest.raises(MappingError, match="latency must be >= 0"):
+            verify_state(state)
+
+    def test_verifier_catches_off_grid_placement(self):
+        prog = _random_program(random.Random(3))
+        state = _fresh_state(prog)
+        PassManager(list(DEFAULT_PIPELINE[:3])).run(state)
+        state.stage("ew").coord = (-1, 999)
+        with pytest.raises(MappingError, match="off-grid"):
+            verify_state(state)
+
+    def test_verifier_catches_broken_ledger(self):
+        prog = _random_program(random.Random(4))
+        state = _fresh_state(prog)
+        PassManager(list(DEFAULT_PIPELINE[:3])).run(state)
+        state.pcus_allocated += 1
+        with pytest.raises(MappingError, match="ledger"):
+            verify_state(state)
+
+    def test_verifier_catches_foreign_unit(self):
+        prog = _random_program(random.Random(5))
+        state = _fresh_state(prog)
+        PassManager(list(DEFAULT_PIPELINE[:3])).run(state)
+        ew = state.stage("ew")
+        # Swap a PCU unit for a coordinate that is not a PCU.
+        pmu_coord = state.chip.layout.pmus[0]
+        ew.units_pcu = (pmu_coord,) + ew.units_pcu[1:]
+        with pytest.raises(MappingError, match="non-PCU"):
+            verify_state(state)
+
+    def test_verifier_catches_cycle(self):
+        prog = _random_program(random.Random(6))
+        state = _fresh_state(prog)
+        PassManager(["recognize_rnn", "plan_gates"]).run(state)
+        state.add_edge("writeback", "load_x")
+        with pytest.raises(MappingError, match="cycle"):
+            verify_state(state)
+
+
+class TestRegistry:
+    def test_all_builtin_passes_registered(self):
+        assert set(available_passes()) >= set(DEFAULT_PIPELINE) | {
+            "fuse_gates",
+            "double_buffer",
+        }
+
+    def test_unknown_pass_raises_with_known_names(self):
+        with pytest.raises(MappingError, match="unknown mapping pass"):
+            get_pass("no_such_pass")
+
+    def test_duplicate_registration_raises(self):
+        @register_pass("tmp_prop_pass")
+        class Tmp(MappingPass):
+            def run(self, state):
+                pass
+
+        try:
+            with pytest.raises(MappingError, match="already registered"):
+                register_pass("tmp_prop_pass")(Tmp)
+        finally:
+            unregister_pass("tmp_prop_pass")
+
+    def test_non_pass_class_rejected(self):
+        with pytest.raises(MappingError, match="MappingPass subclass"):
+            register_pass("tmp_bogus")(dict)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(MappingError, match="empty pass pipeline"):
+            PassManager([])
+
+    def test_manager_accepts_instances(self):
+        passes = [get_pass(n)() for n in DEFAULT_PIPELINE]
+        prog = _random_program(random.Random(7))
+        state = PassManager(passes).run(_fresh_state(prog))
+        assert state.design is not None

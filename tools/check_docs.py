@@ -4,8 +4,11 @@
 Fails (exit 1) when a module under ``src/repro/serving/`` or
 ``src/repro/workloads/`` is not mentioned by name in
 ``docs/ARCHITECTURE.md``, so new serving or workload modules cannot land
-undocumented.  Also sanity-checks that the docs/ suite and the README
-cross-link each other.
+undocumented.  Likewise every registered mapping compiler pass
+(``repro.mapping.passes``) must appear in ARCHITECTURE.md by its
+registry name — the pass list is read off the live registry, so a new
+pass cannot land without a doc entry.  Also sanity-checks that the
+docs/ suite and the README cross-link each other.
 
 Run from the repo root (CI does):
 
@@ -64,6 +67,16 @@ def serve_flags() -> list[str]:
     )
 
 
+def mapping_passes() -> list[str]:
+    """Registry names of every mapping compiler pass."""
+    src = REPO / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.mapping.passes import available_passes
+
+    return list(available_passes())
+
+
 def main() -> int:
     failures: list[str] = []
 
@@ -107,6 +120,14 @@ def main() -> int:
                 f"docs/CLI.md does not document the `repro serve` flag {flag}"
             )
 
+    passes = mapping_passes()
+    for name in passes:
+        if name not in architecture:
+            failures.append(
+                f"docs/ARCHITECTURE.md does not mention the mapping "
+                f"compiler pass {name!r}"
+            )
+
     if failures:
         print("docs-check FAILED:")
         for failure in failures:
@@ -115,6 +136,7 @@ def main() -> int:
     print(
         f"docs-check ok: {n_modules} serving/workload modules documented, "
         f"{len(flags)} serve flags referenced, "
+        f"{len(passes)} mapping passes documented, "
         f"{len(REQUIRED_LINKS)} docs cross-linked"
     )
     return 0
