@@ -1,0 +1,226 @@
+"""Capacity-planner DSE: heterogeneous fleets must earn their keep.
+
+PR 9 made :class:`~repro.serving.fleet.Fleet` heterogeneous (a
+``"name[:count],..."`` platform mix behind cost-aware dispatch) and
+added :func:`~repro.dse.capacity.plan_capacity`, the fleet-level
+analogue of the Table 7 loop-knob DSE: search fleet size × platform mix
+× policy for the cheapest fleet holding a P99 SLO on a diurnal
+workload, costed by the Table 4/5 TDP and device-price data in
+:mod:`repro.platforms`.  This benchmark guards the two contracts that
+make the feature trustworthy:
+
+* **Homogeneous parity** — a mix spec naming one platform
+  (``Fleet("gpu:2")``) must be the *same fleet* as the classic
+  ``Fleet("gpu", replicas=2)``: identical dispatcher, identical
+  response timelines, bit for bit.  Heterogeneity is purely additive.
+* **Mixed fleets win somewhere** — on a gru-2816 diurnal workload
+  peaking above twice one Plasticine's capacity, the planner's cheapest
+  SLO-meeting fleet must be a genuine mix (one Brainwave covering the
+  overflow beats a second replica of either platform alone on $/1M
+  requests).  If every mixed candidate loses to a homogeneous fleet,
+  the cost-aware dispatcher or the TCO accounting has regressed.
+
+The full cost/latency frontier lands in
+``benchmarks/out/capacity_planner.json`` (uploaded by the perf-smoke CI
+job), so a PR that shifts the frontier shows up in the artifact diff.
+
+Run under pytest (CI's benchmarks job) or standalone::
+
+    python benchmarks/bench_capacity_planner.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Standalone bootstrap (python benchmarks/bench_capacity_planner.py
+# without PYTHONPATH=src): put the in-repo package on the path first.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.dse import FleetSpace, plan_capacity
+from repro.harness.report import format_table
+from repro.serving import Fleet, poisson_arrivals
+from repro.workloads.deepbench import task
+
+OUT_JSON = Path(__file__).parent / "out" / "capacity_planner.json"
+
+#: The planner workload: gru-2816 at a diurnal peak of 12k req/s —
+#: above 2x one Plasticine replica's ~5.7k req/s capacity, so the
+#: cheapest feasible fleet needs either a third tier or a second
+#: expensive replica.  The SLO matches the paper's 5 ms target.
+PLAN_TASK = task("gru", 2816, 25)
+PLAN_SLO_MS = 5.0
+PLAN_PEAK_RATE = 12_000.0
+PLAN_SPACE = FleetSpace(
+    platforms=("plasticine", "brainwave", "gpu"), max_replicas=3
+)
+
+#: Homogeneous-parity stream (cheap analytical platform).
+PARITY_TASK = task("lstm", 512, 25)
+PARITY_SEED = 2026
+
+
+def _parity(n: int) -> dict:
+    """Mix-spec fleet vs classic replicas kwarg: the same fleet, exactly."""
+    arrivals = poisson_arrivals(
+        PARITY_TASK, rate_per_s=2_000.0, n_requests=n, seed=PARITY_SEED
+    )
+    via_mix = Fleet("gpu:2", policy="least-loaded").serve_stream(
+        arrivals, slo_ms=PLAN_SLO_MS
+    )
+    classic = Fleet("gpu", replicas=2, policy="least-loaded").serve_stream(
+        arrivals, slo_ms=PLAN_SLO_MS
+    )
+    return {
+        "n_requests": n,
+        "identical": bool(
+            via_mix.assignments == classic.assignments
+            and via_mix.responses == classic.responses
+            and via_mix.p99_ms == classic.p99_ms
+            and via_mix.max_rate_per_s == classic.max_rate_per_s
+        ),
+        "p99_ms": classic.p99_ms,
+    }
+
+
+def _plan(n: int) -> dict:
+    """Run the capacity planner and record the whole frontier."""
+    t0 = time.perf_counter()
+    plan = plan_capacity(
+        PLAN_TASK,
+        slo_ms=PLAN_SLO_MS,
+        peak_rate_per_s=PLAN_PEAK_RATE,
+        n_requests=n,
+        space=PLAN_SPACE,
+    )
+    elapsed = time.perf_counter() - t0
+    homogeneous = [p for p in plan.feasible_points() if not p.is_mixed]
+    return {
+        "elapsed_s": elapsed,
+        "candidates_per_s": len(plan.points) / elapsed,
+        "best_homogeneous_cost": (
+            min(p.cost_usd_per_1m for p in homogeneous)
+            if homogeneous
+            else None
+        ),
+        "plan": plan.to_json(),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    return {
+        "quick": quick,
+        "workload": (
+            f"{PLAN_TASK.name} diurnal peak {PLAN_PEAK_RATE:.0f}/s "
+            f"slo {PLAN_SLO_MS}ms"
+        ),
+        "parity": _parity(1_000 if quick else 5_000),
+        "planner": _plan(4_000 if quick else 8_000),
+    }
+
+
+def check(metrics: dict) -> list[str]:
+    """The regressions this benchmark exists to catch."""
+    failures = []
+    if not metrics["parity"]["identical"]:
+        failures.append(
+            "a single-platform mix spec no longer matches the classic "
+            "homogeneous fleet bit for bit"
+        )
+    plan = metrics["planner"]["plan"]
+    best = plan["best"]
+    if best is None:
+        failures.append("no fleet in the space held the SLO")
+        return failures
+    if not best["meets_slo"]:
+        failures.append("the planner's best fleet misses its own SLO")
+    if len(set(best["mix"].split(","))) < 2:
+        failures.append(
+            f"the cheapest SLO-meeting fleet is homogeneous ({best['mix']}): "
+            f"mixed fleets no longer pay off on the overflow workload"
+        )
+    homogeneous_cost = metrics["planner"]["best_homogeneous_cost"]
+    if (
+        homogeneous_cost is not None
+        and best["cost_usd_per_1m"] >= homogeneous_cost
+    ):
+        failures.append(
+            f"best mixed fleet (${best['cost_usd_per_1m']:.4f}/1M) does not "
+            f"beat the best homogeneous fleet (${homogeneous_cost:.4f}/1M)"
+        )
+    if best["joules_per_request"] <= 0 or best["fleet_watt_hours"] <= 0:
+        failures.append("energy columns are empty on the best fleet")
+    if not plan["frontier"]:
+        failures.append("the cost/latency frontier is empty")
+    return failures
+
+
+def _render(metrics: dict) -> str:
+    plan = metrics["planner"]["plan"]
+    rows = [
+        [
+            p["mix"],
+            p["replicas"],
+            f"{p['p99_ms']:.3f}",
+            "yes" if p["meets_slo"] else "NO",
+            f"{p['joules_per_request']:.4f}",
+            f"{p['cost_usd_per_1m']:.4f}",
+        ]
+        for p in plan["frontier"]
+    ]
+    parity = "EXACT" if metrics["parity"]["identical"] else "BROKEN"
+    best = plan["best"]
+    title = (
+        f"Capacity planner: {metrics['workload']} — homogeneous parity "
+        f"{parity}, best fleet {best['mix']} at "
+        f"${best['cost_usd_per_1m']:.4f}/1M "
+        f"({plan['n_candidates']} candidates in "
+        f"{metrics['planner']['elapsed_s']:.1f}s)"
+    )
+    return format_table(
+        ["fleet", "replicas", "P99 ms", f"P99<{PLAN_SLO_MS:g}ms", "J/req",
+         "$/1M req"],
+        rows,
+        title=title,
+    )
+
+
+def _write_json(metrics: dict) -> None:
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+
+
+def test_capacity_planner(artifact):
+    metrics = run(quick=False)
+    _write_json(metrics)
+    artifact("capacity_planner", _render(metrics))
+    failures = check(metrics)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller request counts (the CI perf-smoke configuration)",
+    )
+    args = parser.parse_args(argv)
+    metrics = run(quick=args.quick)
+    _write_json(metrics)
+    print(_render(metrics))
+    print(f"[json: {OUT_JSON}]")
+    failures = check(metrics)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,15 @@ for the RNN-serving designs:
   latency-optimal one.
 * :mod:`repro.dse.tuner` — per-task selection, plus the paper's published
   and reconstructed Table 7 parameter sets.
+* :mod:`repro.dse.capacity` — the same idiom one level up: search fleet
+  size × platform mix × scheduler × batcher for the cheapest fleet that
+  holds a P99 SLO on a diurnal serving workload.
 """
 
 from repro.dse.space import ParameterSpace
 from repro.dse.search import DSEResult, SearchPoint, search
 from repro.dse.tuner import paper_params, tune
+from repro.dse.capacity import CapacityPlan, CapacityPoint, FleetSpace, plan_capacity
 
 __all__ = [
     "ParameterSpace",
@@ -23,4 +27,8 @@ __all__ = [
     "DSEResult",
     "tune",
     "paper_params",
+    "FleetSpace",
+    "CapacityPoint",
+    "CapacityPlan",
+    "plan_capacity",
 ]

@@ -1,0 +1,345 @@
+"""Serving-level DSE: the cheapest fleet that holds the SLO.
+
+The loop-knob search (:mod:`repro.dse.search`) answers the paper's
+Table 7 question — which (hu, ru) maps one RNN onto one Plasticine chip
+fastest.  This module asks the Table 6 question at fleet scale: given a
+diurnal multi-user workload and a P99 SLO, **which fleet — size ×
+platform mix × scheduler × batcher × dispatch policy — meets the SLO
+for the least money?**
+
+The idiom mirrors the chip-level DSE deliberately:
+
+* :class:`FleetSpace` enumerates candidates the way
+  :class:`~repro.dse.space.ParameterSpace` enumerates (hu, ru) points —
+  every platform multiset up to ``max_replicas``, crossed with the
+  policy/scheduler/batcher axes.
+* :func:`plan_capacity` evaluates each candidate the way
+  :func:`~repro.dse.search.search` maps-and-simulates each point: one
+  O(1)-memory summary-mode stream simulation per fleet (Plasticine
+  replicas compile through the Table 7 tuner exactly as in live
+  serving), scoring P99 against the SLO and cost per million requests
+  from the Table 4/5 TDP + price data (:mod:`repro.platforms`).
+* :class:`CapacityPlan` is the :class:`~repro.dse.search.DSEResult`
+  analogue: the cheapest SLO-meeting fleet plus the full evaluated
+  frontier, JSON-serializable for the perf-smoke artifact
+  (``benchmarks/bench_capacity_planner.py``).
+
+Example::
+
+    >>> from repro.dse.capacity import FleetSpace, plan_capacity
+    >>> from repro.workloads.deepbench import task
+    >>> plan = plan_capacity(
+    ...     task("lstm", 256, 25),
+    ...     slo_ms=5.0,
+    ...     peak_rate_per_s=2000,
+    ...     n_requests=300,
+    ...     space=FleetSpace(platforms=("cpu", "gpu"), max_replicas=2),
+    ... )
+    >>> plan.best.meets_slo
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement, groupby
+from typing import Iterator
+
+from repro.errors import DSEError
+from repro.serving.batching import available_batchers
+from repro.serving.fleet import SCHEDULING_POLICIES, Fleet
+from repro.serving.scheduler import available_schedulers
+from repro.serving.stats import StreamSummary
+from repro.serving.traffic import diurnal_arrivals
+from repro.workloads.deepbench import RNNTask
+
+__all__ = ["FleetSpace", "CapacityPoint", "CapacityPlan", "plan_capacity"]
+
+
+def _mix_label(roster: "tuple[str, ...]") -> str:
+    return ",".join(f"{name}:{len(list(run))}" for name, run in groupby(roster))
+
+
+@dataclass(frozen=True)
+class FleetSpace:
+    """The fleet-configuration grid the capacity planner searches.
+
+    The serving-layer analogue of
+    :class:`~repro.dse.space.ParameterSpace`: ``candidates()``
+    enumerates every multiset of ``platforms`` from one replica up to
+    ``max_replicas`` (order within a fleet does not matter — the roster
+    is canonicalized), crossed with the policy, scheduler, and batcher
+    axes.
+
+    Example::
+
+        >>> space = FleetSpace(platforms=("gpu", "brainwave"), max_replicas=2)
+        >>> [m for m in space.mixes()]
+        [('brainwave',), ('gpu',), ('brainwave', 'brainwave'), ('brainwave', 'gpu'), ('gpu', 'gpu')]
+    """
+
+    platforms: tuple[str, ...] = ("plasticine", "brainwave", "gpu")
+    max_replicas: int = 3
+    policies: tuple[str, ...] = ("least-loaded",)
+    schedulers: tuple[str, ...] = ("fifo",)
+    batchers: tuple[str, ...] = ("none",)
+    max_batch: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.platforms or self.max_replicas < 1:
+            raise DSEError("empty fleet space")
+        for policy in self.policies:
+            if policy not in SCHEDULING_POLICIES:
+                raise DSEError(
+                    f"unknown policy {policy!r}; known: "
+                    f"{', '.join(SCHEDULING_POLICIES)}"
+                )
+        for scheduler in self.schedulers:
+            if scheduler not in available_schedulers():
+                raise DSEError(f"unknown scheduler {scheduler!r}")
+        for batcher in self.batchers:
+            if batcher not in available_batchers():
+                raise DSEError(f"unknown batcher {batcher!r}")
+
+    def mixes(self) -> "Iterator[tuple[str, ...]]":
+        """Every platform multiset, smallest fleets first."""
+        names = tuple(sorted(set(self.platforms)))
+        for size in range(1, self.max_replicas + 1):
+            yield from combinations_with_replacement(names, size)
+
+    def candidates(self) -> "Iterator[tuple[tuple[str, ...], str, str, str]]":
+        """(roster, policy, scheduler, batcher) for every grid point."""
+        for roster in self.mixes():
+            for policy in self.policies:
+                for scheduler in self.schedulers:
+                    for batcher in self.batchers:
+                        yield roster, policy, scheduler, batcher
+
+    def n_candidates(self) -> int:
+        return (
+            sum(1 for _ in self.mixes())
+            * len(self.policies)
+            * len(self.schedulers)
+            * len(self.batchers)
+        )
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One evaluated fleet configuration — a serving-layer SearchPoint."""
+
+    mix: str
+    platforms: tuple[str, ...]
+    replicas: int
+    policy: str
+    scheduler: str
+    batcher: str
+    p99_ms: float
+    slo_attainment: float
+    meets_slo: bool
+    throughput_rps: float
+    joules_per_request: float
+    fleet_watt_hours: float
+    cost_usd_per_1m: float
+
+    @property
+    def is_mixed(self) -> bool:
+        return len(set(self.platforms)) > 1
+
+    def to_row(self) -> dict:
+        """Flat JSON-serializable record for the frontier artifact."""
+        return {
+            "mix": self.mix,
+            "replicas": self.replicas,
+            "policy": self.policy,
+            "scheduler": self.scheduler,
+            "batcher": self.batcher,
+            "p99_ms": self.p99_ms,
+            "slo_attainment": self.slo_attainment,
+            "meets_slo": self.meets_slo,
+            "throughput_rps": self.throughput_rps,
+            "joules_per_request": self.joules_per_request,
+            "fleet_watt_hours": self.fleet_watt_hours,
+            "cost_usd_per_1m": self.cost_usd_per_1m,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Search outcome: cheapest SLO-meeting fleet plus the frontier."""
+
+    task: RNNTask
+    slo_ms: float
+    n_requests: int
+    points: tuple[CapacityPoint, ...] = field(repr=False)
+
+    def feasible_points(self) -> tuple[CapacityPoint, ...]:
+        return tuple(p for p in self.points if p.meets_slo)
+
+    @property
+    def best(self) -> CapacityPoint:
+        """Cheapest fleet with P99 under the SLO.
+
+        Ties break toward fewer replicas, then the lexicographically
+        first mix — deterministic like the chip DSE's tie-breaks.
+        """
+        feasible = self.feasible_points()
+        if not feasible:
+            raise DSEError(
+                f"no fleet in the space holds P99 < {self.slo_ms} ms "
+                f"for {self.task.name}; widen the space or the SLO"
+            )
+        return min(
+            feasible, key=lambda p: (p.cost_usd_per_1m, p.replicas, p.mix)
+        )
+
+    def frontier(self) -> tuple[CapacityPoint, ...]:
+        """The cost/latency Pareto frontier over all evaluated fleets.
+
+        Sorted by rising cost; each kept point has strictly lower P99
+        than every cheaper point (dominated fleets are dropped).
+        """
+        best_p99 = float("inf")
+        kept = []
+        for point in sorted(
+            self.points, key=lambda p: (p.cost_usd_per_1m, p.p99_ms)
+        ):
+            if point.p99_ms < best_p99:
+                kept.append(point)
+                best_p99 = point.p99_ms
+        return tuple(kept)
+
+    def to_json(self) -> dict:
+        """The frontier artifact, shaped like the perf-smoke JSONs."""
+        feasible = self.feasible_points()
+        return {
+            "task": self.task.name,
+            "slo_ms": self.slo_ms,
+            "n_requests": self.n_requests,
+            "n_candidates": len(self.points),
+            "n_feasible": len(feasible),
+            "best": self.best.to_row() if feasible else None,
+            "frontier": [p.to_row() for p in self.frontier()],
+            "points": [p.to_row() for p in self.points],
+        }
+
+    def dumps(self, **kwargs) -> str:
+        return json.dumps(self.to_json(), **kwargs)
+
+
+def _evaluate(
+    task: RNNTask,
+    roster: "tuple[str, ...]",
+    policy: str,
+    scheduler: str,
+    batcher: str,
+    *,
+    slo_ms: float,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    n_requests: int,
+    seed: int,
+    max_batch: int | None,
+) -> CapacityPoint:
+    """Simulate one candidate fleet on the seeded diurnal workload."""
+    fleet = Fleet(roster, policy=policy)
+    summary: StreamSummary = fleet.serve_stream(
+        diurnal_arrivals(
+            task,
+            base_rate_per_s=base_rate_per_s,
+            peak_rate_per_s=peak_rate_per_s,
+            period_s=period_s,
+            n_requests=n_requests,
+            seed=seed,
+            materialize=False,
+        ),
+        slo_ms=slo_ms,
+        scheduler=scheduler,
+        batcher=batcher,
+        max_batch=max_batch,
+        mode="summary",
+        presorted=True,
+    )
+    p99 = summary.p99_ms
+    return CapacityPoint(
+        mix=_mix_label(roster),
+        platforms=roster,
+        replicas=len(roster),
+        policy=policy,
+        scheduler=scheduler,
+        batcher=batcher,
+        p99_ms=p99,
+        slo_attainment=summary.slo_attainment,
+        meets_slo=p99 < slo_ms,
+        throughput_rps=summary.throughput_rps,
+        joules_per_request=summary.joules_per_request,
+        fleet_watt_hours=summary.fleet_watt_hours,
+        cost_usd_per_1m=summary.cost_usd_per_1m_requests,
+    )
+
+
+def plan_capacity(
+    task: RNNTask,
+    *,
+    slo_ms: float = 5.0,
+    peak_rate_per_s: float = 2000.0,
+    base_rate_per_s: float | None = None,
+    period_s: float | None = None,
+    n_requests: int = 2000,
+    seed: int = 0,
+    space: FleetSpace | None = None,
+) -> CapacityPlan:
+    """Search fleet size × platform mix × scheduler × batcher for the
+    cheapest fleet holding ``P99 < slo_ms`` on a diurnal workload.
+
+    Every candidate is replayed over the *same* seeded
+    :func:`~repro.serving.traffic.diurnal_arrivals` stream (base-to-peak
+    sinusoidal ramp, defaults: base = peak/4, one full period over the
+    stream), simulated in O(1)-memory summary mode, and scored on the
+    energy/TCO accounting the summary carries.  ``n_requests`` scales
+    the workload down from the headline "1M users over a day" to
+    something a test or perf-smoke run can afford — the arrival
+    *pattern* and the per-request costs are what decide the frontier,
+    not the absolute count (the benchmark pins this).
+
+    Returns a :class:`CapacityPlan`; ``plan.best`` raises
+    :class:`~repro.errors.DSEError` when nothing in the space holds the
+    SLO, exactly like the chip DSE's no-feasible-design error.
+    """
+    if slo_ms <= 0:
+        raise DSEError("slo_ms must be > 0")
+    if n_requests < 1:
+        raise DSEError("n_requests must be >= 1")
+    if peak_rate_per_s <= 0:
+        raise DSEError("peak_rate_per_s must be > 0")
+    if base_rate_per_s is None:
+        base_rate_per_s = peak_rate_per_s / 4.0
+    if period_s is None:
+        # One full diurnal period over the stream at the mean rate.
+        mean_rate = (base_rate_per_s + peak_rate_per_s) / 2.0
+        period_s = n_requests / mean_rate
+    space = space or FleetSpace()
+    points = tuple(
+        _evaluate(
+            task,
+            roster,
+            policy,
+            scheduler,
+            batcher,
+            slo_ms=slo_ms,
+            base_rate_per_s=base_rate_per_s,
+            peak_rate_per_s=peak_rate_per_s,
+            period_s=period_s,
+            n_requests=n_requests,
+            seed=seed,
+            max_batch=space.max_batch,
+        )
+        for roster, policy, scheduler, batcher in space.candidates()
+    )
+    if not points:
+        raise DSEError(f"no candidate fleets for {task.name}")
+    return CapacityPlan(
+        task=task, slo_ms=slo_ms, n_requests=n_requests, points=points
+    )

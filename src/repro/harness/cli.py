@@ -55,9 +55,14 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     _validate_serve_flags(args)
     t = task(args.kind, args.hidden, args.timesteps)
+    if args.plan_capacity:
+        return _serve_plan_capacity(args, t)
     if args.platform:
         get_platform(args.platform)  # fail fast with the registry's message
         names = [args.platform]
+    elif args.fleet_mix:
+        # One row: the whole heterogeneous fleet is the "platform".
+        names = [args.fleet_mix]
     else:
         names = list(available_platforms())
     if args.listen and args.clients is None:
@@ -108,6 +113,35 @@ def _validate_serve_flags(args: argparse.Namespace) -> None:
                 "materialize every response; drop --mode full (sharded "
                 "runs default to --mode summary)"
             )
+    if args.fleet_mix:
+        from repro.serving import parse_fleet_mix
+
+        parse_fleet_mix(args.fleet_mix)  # fail fast on a malformed spec
+        if args.platform:
+            raise ServingError(
+                "--fleet-mix names the whole fleet roster; drop --platform"
+            )
+        if args.replicas != 1:
+            raise ServingError(
+                "--fleet-mix sets the replica count from the roster "
+                "(e.g. plasticine:2,gpu:1 is three replicas); drop --replicas"
+            )
+        if args.listen or args.clients is not None:
+            raise ServingError(
+                "--fleet-mix drives the simulated stream; the live "
+                "frontend serves a single platform"
+            )
+    if args.plan_capacity:
+        if args.listen or args.clients is not None or args.shards is not None:
+            raise ServingError(
+                "--plan-capacity sweeps candidate fleets over its own "
+                "diurnal workload; drop --listen/--clients/--shards"
+            )
+        if args.trace or args.mix:
+            raise ServingError(
+                "--plan-capacity generates its own diurnal workload; "
+                "drop --trace/--mix"
+            )
     if args.timeout_ms is not None and args.timeout_ms <= 0:
         raise ServingError("--timeout-ms must be positive")
     if args.hedge_ms is not None and args.hedge_ms <= 0:
@@ -119,6 +153,13 @@ def _validate_serve_flags(args: argparse.Namespace) -> None:
             "--retries re-dispatches timed-out requests; add --timeout-ms"
         )
     faulty = args.faults != "none" or args.hedge_ms is not None or args.retries
+    if args.plan_capacity and (
+        faulty or args.timeout_ms is not None or args.autoscale
+    ):
+        raise ServingError(
+            "--plan-capacity scores clean candidate fleets; drop "
+            "--faults/--retries/--hedge-ms/--timeout-ms/--autoscale"
+        )
     if faulty and (args.listen or args.clients is not None):
         raise ServingError(
             "--faults/--retries/--hedge-ms inject into the simulated "
@@ -132,9 +173,10 @@ def _validate_serve_flags(args: argparse.Namespace) -> None:
         or args.clients is not None
         or faulty
         or args.timeout_ms is not None
+        or args.fleet_mix
     ):
-        # The parallel, live, and fault-injected frontends are stream
-        # serving by definition.
+        # The parallel, live, fault-injected, and mixed-fleet frontends
+        # are stream serving by definition.
         args.stream = True
 
 
@@ -423,6 +465,84 @@ def _scale_events_table(name: str, report) -> str:
     )
 
 
+def _serve_plan_capacity(args: argparse.Namespace, t) -> str:
+    """--plan-capacity: the fleet-level DSE over the serve flags.
+
+    Sweeps platform mix × fleet size (and whatever --policy/--scheduler/
+    --batcher name) for the cheapest fleet holding P99 < --slo-ms on a
+    seeded diurnal workload peaking at --rate req/s, and prints the
+    cost/latency frontier.  --fleet-mix narrows the platform set (and
+    its total count caps the fleet size); --platform pins a single
+    platform; otherwise the default plasticine/brainwave/gpu space up to
+    --replicas (min 3) replicas is searched.
+    """
+    from repro.dse import FleetSpace, plan_capacity
+    from repro.errors import DSEError
+    from repro.harness.report import format_table
+    from repro.serving import parse_fleet_mix
+
+    if args.fleet_mix:
+        roster = parse_fleet_mix(args.fleet_mix)
+        platforms = tuple(sorted(set(roster)))
+        max_replicas = len(roster)
+    elif args.platform:
+        platforms = (args.platform,)
+        max_replicas = max(args.replicas, 3)
+    else:
+        platforms = ("plasticine", "brainwave", "gpu")
+        max_replicas = max(args.replicas, 3)
+    space = FleetSpace(
+        platforms=platforms,
+        max_replicas=max_replicas,
+        policies=(args.policy,),
+        schedulers=(args.scheduler,),
+        batchers=(args.batcher,),
+        max_batch=args.max_batch if args.batcher != "none" else None,
+    )
+    plan = plan_capacity(
+        t,
+        slo_ms=args.slo_ms,
+        peak_rate_per_s=args.rate,
+        n_requests=args.requests,
+        seed=args.seed,
+        space=space,
+    )
+    rows = [
+        [
+            p.mix,
+            p.replicas,
+            round(p.p99_ms, 3),
+            "yes" if p.meets_slo else "NO",
+            round(p.throughput_rps, 1),
+            round(p.joules_per_request, 6),
+            round(p.fleet_watt_hours, 6),
+            round(p.cost_usd_per_1m, 4),
+        ]
+        for p in plan.frontier()
+    ]
+    table = format_table(
+        ["fleet", "replicas", "P99 ms", f"P99<{args.slo_ms:g}ms",
+         "req/s", "J/req", "fleet Wh", "$/1M req"],
+        rows,
+        title=(
+            f"Capacity frontier for {t.name} "
+            f"(diurnal peak {args.rate:.0f} req/s, {args.requests} "
+            f"requests, {space.n_candidates()} candidate fleets, "
+            f"{args.policy})"
+        ),
+    )
+    try:
+        best = plan.best
+        verdict = (
+            f"cheapest fleet holding P99 < {args.slo_ms:g} ms: {best.mix} "
+            f"at ${best.cost_usd_per_1m:.4f}/1M requests "
+            f"(P99 {best.p99_ms:.3f} ms, {best.joules_per_request:.6f} J/req)"
+        )
+    except DSEError as exc:
+        verdict = f"no feasible fleet: {exc}"
+    return f"{table}\n\n{verdict}"
+
+
 def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     from repro.errors import ServingError
     from repro.harness.report import format_table
@@ -443,6 +563,19 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     # sources guarantee) time-ordered input with monotone ids.
     presorted = args.mode == "summary"
     batched = args.batcher != "none"
+    mixed = bool(args.fleet_mix)
+    n_replicas = args.replicas
+    if mixed:
+        from itertools import groupby
+
+        from repro.serving import parse_fleet_mix
+
+        roster = parse_fleet_mix(args.fleet_mix)
+        n_replicas = len(roster)
+        # Canonical name:count label, e.g. "plasticine:2,gpu:1".
+        names = [
+            ",".join(f"{n}:{len(list(g))}" for n, g in groupby(roster))
+        ]
     n_requests = 0
     rows = []
     breakdowns = []
@@ -464,6 +597,25 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
                 max_batch=args.max_batch,
                 slo_ms=args.slo_ms,
                 autoscaler=autoscaler,
+                mix=args.fleet_mix,
+                affinity_by=args.affinity_by,
+                **fault_kwargs,
+            )
+        elif mixed:
+            server = Fleet(
+                args.fleet_mix,
+                policy=args.policy,
+                affinity_by=args.affinity_by,
+            )
+            report = server.serve_stream(
+                arrivals,
+                slo_ms=args.slo_ms,
+                scheduler=args.scheduler,
+                batcher=args.batcher,
+                max_batch=args.max_batch,
+                autoscaler=autoscaler,
+                mode=args.mode,
+                presorted=presorted,
                 **fault_kwargs,
             )
         elif args.replicas > 1 or autoscaler is not None:
@@ -505,6 +657,9 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
         if batched:
             row.insert(2, round(report.mean_batch_size, 2))
             row.insert(3, f"{100.0 * report.padding_waste_frac:.1f}%")
+        if mixed:
+            row.append(round(report.joules_per_request, 6))
+            row.append(round(report.cost_usd_per_1m_requests, 4))
         rows.append(row)
         if len(report.tenants) > 1:
             breakdowns.append(_tenant_breakdown_table(name, report, args.slo_ms))
@@ -522,7 +677,7 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
             )
     title = (
         f"Streaming {desc} "
-        f"({n_requests} requests, {args.replicas} replica(s), {args.policy}, "
+        f"({n_requests} requests, {n_replicas} replica(s), {args.policy}, "
         f"{args.scheduler}"
     )
     if batched:
@@ -541,6 +696,8 @@ def _serve_stream_table(args: argparse.Namespace, t, names: list[str]) -> str:
     if batched:
         headers.insert(2, "mean batch")
         headers.insert(3, "pad waste")
+    if mixed:
+        headers.extend(["J/req", "$/1M req"])
     main_table = format_table(headers, rows, title=title)
     parts = [main_table, *breakdowns]
     if args.record_trace:
@@ -797,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
     # Choices come from the live registries, so platforms, schedulers,
     # and batchers registered by plugins show up in --help automatically.
     from repro.serving import (
+        AFFINITY_KEYS,
         SCHEDULING_POLICIES,
         available_batchers,
         available_fault_policies,
@@ -902,10 +1060,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=1, help="fleet replicas (stream mode)"
     )
     serve.add_argument(
+        "--fleet-mix",
+        metavar="SPEC",
+        help="heterogeneous fleet roster as comma-separated "
+        "name[:count] entries (e.g. plasticine:2,brainwave:1,gpu:1); "
+        "replaces --platform/--replicas, dispatches by projected "
+        "completion under each replica's own cost model, and adds "
+        "energy (J/req) and TCO ($/1M requests) columns (stream mode)",
+    )
+    serve.add_argument(
         "--policy",
         choices=SCHEDULING_POLICIES,
         default="least-loaded",
-        help="fleet dispatch policy (stream mode)",
+        help="fleet dispatch policy (stream mode); 'affinity' pins each "
+        "--affinity-by key to the platform tier that first served it",
+    )
+    serve.add_argument(
+        "--affinity-by",
+        choices=AFFINITY_KEYS,
+        default="task",
+        help="routing key for --policy affinity: pin by task shape, "
+        "tenant, or sequence-length band",
+    )
+    serve.add_argument(
+        "--plan-capacity",
+        action="store_true",
+        help="run the capacity-planner DSE instead of serving: search "
+        "fleet size x platform mix (--fleet-mix narrows the platform "
+        "set; --replicas caps the size, min 3) for the cheapest fleet "
+        "holding P99 < --slo-ms on a diurnal workload peaking at "
+        "--rate req/s, and print the cost/latency frontier",
     )
     serve.add_argument(
         "--scheduler",

@@ -15,7 +15,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["PlatformSpec", "PLATFORMS", "platform"]
+__all__ = [
+    "PlatformSpec",
+    "PLATFORMS",
+    "platform",
+    "ELECTRICITY_USD_PER_KWH",
+    "AMORTIZATION_YEARS",
+    "device_usd_per_hour",
+    "tdp_of",
+]
+
+#: Industrial electricity price used by the TCO model (US average-ish;
+#: a modeling constant, not a paper number).
+ELECTRICITY_USD_PER_KWH = 0.12
+
+#: Capital cost of a device is amortized linearly over this horizon.
+AMORTIZATION_YEARS = 3.0
+
+_HOURS_PER_YEAR = 365.0 * 24.0
 
 
 @dataclass(frozen=True)
@@ -39,6 +56,18 @@ class PlatformSpec:
     software_framework: str
     precision: str
     measured_peak_power_w: float | None = None
+    #: Street price of one device, used only by the TCO model (a
+    #: modeling constant — the paper reports no prices).  ``None`` means
+    #: "unknown": amortization contributes zero for such platforms.
+    device_cost_usd: float | None = None
+
+    @property
+    def power_w(self) -> float:
+        """Power draw the energy model charges: measured peak when the
+        paper reports one, TDP otherwise."""
+        if self.measured_peak_power_w is not None:
+            return self.measured_peak_power_w
+        return self.tdp_w
 
 
 PLATFORMS: dict[str, PlatformSpec] = {
@@ -56,6 +85,7 @@ PLATFORMS: dict[str, PlatformSpec] = {
         tdp_w=15,
         software_framework="TF+AVX2",
         precision="f32",
+        device_cost_usd=800.0,
     ),
     "gpu": PlatformSpec(
         key="gpu",
@@ -71,6 +101,7 @@ PLATFORMS: dict[str, PlatformSpec] = {
         tdp_w=300,
         software_framework="TF+cuDNN",
         precision="f16",
+        device_cost_usd=9000.0,
     ),
     "brainwave": PlatformSpec(
         key="brainwave",
@@ -87,6 +118,7 @@ PLATFORMS: dict[str, PlatformSpec] = {
         software_framework="Brainwave",
         precision="blocked precision",
         measured_peak_power_w=125,
+        device_cost_usd=8000.0,
     ),
     "plasticine": PlatformSpec(
         key="plasticine",
@@ -102,6 +134,7 @@ PLATFORMS: dict[str, PlatformSpec] = {
         tdp_w=160,
         software_framework="Spatial",
         precision="mix f8+16+32",
+        device_cost_usd=6000.0,
     ),
 }
 
@@ -114,3 +147,27 @@ def platform(key: str) -> PlatformSpec:
         raise KeyError(
             f"unknown platform {key!r}; known: {sorted(PLATFORMS)}"
         ) from None
+
+
+def tdp_of(key: str, default: float = 0.0) -> float:
+    """Power draw (W) charged for platform ``key`` by the energy model.
+
+    Unknown keys (platforms registered by tests or downstream code that
+    have no Table 4/5 column) fall back to ``default`` so energy totals
+    stay well-defined for any fleet.
+    """
+    spec = PLATFORMS.get(key)
+    return default if spec is None else spec.power_w
+
+
+def device_usd_per_hour(key: str) -> float:
+    """Amortized capital cost of one device-hour of platform ``key``.
+
+    Linear amortization of :attr:`PlatformSpec.device_cost_usd` over
+    :data:`AMORTIZATION_YEARS`; unknown platforms (or ones with no
+    price) cost nothing, leaving only their energy bill.
+    """
+    spec = PLATFORMS.get(key)
+    if spec is None or spec.device_cost_usd is None:
+        return 0.0
+    return spec.device_cost_usd / (AMORTIZATION_YEARS * _HOURS_PER_YEAR)

@@ -44,8 +44,10 @@ way real accelerator deployments are:
   per-shape result memo so deterministic cost models run once per
   distinct shape.
 * :mod:`repro.serving.fleet` — :class:`Fleet`, N replicas behind a
-  round-robin or least-loaded dispatcher, each with its own scheduler
-  and batcher.
+  round-robin, least-loaded, or affinity dispatcher, each with its own
+  scheduler and batcher; a ``"name[:count],..."`` mix spec builds a
+  heterogeneous fleet whose dispatch ranks replicas by projected
+  completion under each platform's own cost model.
 * :mod:`repro.serving.parallel` — :func:`serve_parallel`, sharded
   multi-core simulation: one independent event loop per shard
   (replica/tenant/hash/generate sharding) on a ``multiprocessing``
@@ -113,7 +115,13 @@ from repro.serving.faults import (
     make_fault_policy,
     register_fault_policy,
 )
-from repro.serving.fleet import SCHEDULING_POLICIES, Fleet, FleetReport
+from repro.serving.fleet import (
+    AFFINITY_KEYS,
+    SCHEDULING_POLICIES,
+    Fleet,
+    FleetReport,
+    parse_fleet_mix,
+)
 from repro.serving.platform import (
     Platform,
     PreparedModel,
@@ -247,6 +255,8 @@ __all__ = [
     "Fleet",
     "FleetReport",
     "SCHEDULING_POLICIES",
+    "AFFINITY_KEYS",
+    "parse_fleet_mix",
     "serve_parallel",
     "shard_seed",
     "shard_of",

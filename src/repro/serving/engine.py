@@ -35,6 +35,7 @@ from functools import cached_property
 from typing import Callable, Iterable
 
 from repro.errors import ServingError
+from repro.platforms import ELECTRICITY_USD_PER_KWH, device_usd_per_hour, tdp_of
 from repro.serving.autoscaler import ScaleEvent
 from repro.serving.batching import Batcher, make_batcher
 from repro.serving.events import run_stream, single_replica_dispatch
@@ -274,6 +275,86 @@ class StreamReport:
     def saturated(self) -> bool:
         """True when arrivals outpace what the server can drain."""
         return self.offered_rate_per_s >= self.max_rate_per_s
+
+    # -- energy / TCO accounting ------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock span of the stream: the last response's finish."""
+        return max(r.finish_s for r in self.responses)
+
+    @property
+    def replica_platforms(self) -> tuple[str, ...]:
+        """Platform key of every *provisioned* replica.
+
+        One engine here; :class:`~repro.serving.fleet.FleetReport`
+        overrides this with the fleet's actual (possibly mixed) roster,
+        and every provisioned-energy number below follows along.
+        """
+        return (self.platform,)
+
+    @property
+    def per_platform_counts(self) -> dict[str, int]:
+        """Responses served per *executing* platform.
+
+        Keyed by ``result.platform`` — the platform that actually ran
+        each request — so mixed fleets attribute work correctly and the
+        values always sum to ``n_requests``.
+        """
+        counts: dict[str, int] = {}
+        for r in self.responses:
+            key = r.result.platform
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def energy_j(self) -> float:
+        """Busy energy: accelerator-seconds × that platform's power draw.
+
+        Each response is charged at the power of the platform that
+        *executed* it (Table 4/5 measured peak when reported, TDP
+        otherwise), summed over its share of accelerator time — idle
+        replicas contribute nothing here (see :attr:`fleet_watt_hours`
+        for the provisioned bill).
+        """
+        return sum(
+            r.service_s * tdp_of(r.result.platform) for r in self.responses
+        )
+
+    @property
+    def joules_per_request(self) -> float:
+        """Busy energy per inference — the paper-style J/request figure."""
+        return self.energy_j / self.n_requests
+
+    @property
+    def fleet_watt_hours(self) -> float:
+        """Provisioned energy: every replica powered for the makespan.
+
+        This is what the electricity meter sees — a provisioned
+        accelerator burns its TDP whether or not the dispatcher sends it
+        work — and it is the energy term the TCO model bills.
+        """
+        watts = sum(tdp_of(p) for p in self.replica_platforms)
+        return watts * self.makespan_s / 3600.0
+
+    @property
+    def cost_usd_per_1m_requests(self) -> float:
+        """Total cost of ownership normalized to one million requests.
+
+        Electricity for the provisioned fleet over the makespan
+        (:attr:`fleet_watt_hours` at :data:`ELECTRICITY_USD_PER_KWH`)
+        plus linear capital amortization of every provisioned device
+        (:func:`repro.platforms.device_usd_per_hour`), divided by the
+        requests actually served and scaled to 1M.  This is the
+        objective the capacity planner (:mod:`repro.dse.capacity`)
+        minimizes.
+        """
+        hours = self.makespan_s / 3600.0
+        energy_usd = self.fleet_watt_hours / 1e3 * ELECTRICITY_USD_PER_KWH
+        capital_usd = hours * sum(
+            device_usd_per_hour(p) for p in self.replica_platforms
+        )
+        return (energy_usd + capital_usd) / self.n_requests * 1e6
 
     def _effective_slo_ms(self, response: ServeResponse) -> float:
         slo = response.request.effective_slo_ms(self.slo_ms)

@@ -94,8 +94,11 @@ _INF = float("inf")
 #: times of the *active* replicas) -> replica index.
 Dispatcher = Callable[[int, ServeRequest, Sequence[float]], int]
 
-#: Factory appending one replica: () -> (engine, scheduler, batcher).
-ReplicaFactory = Callable[[], "tuple[ServingEngine, Scheduler, Batcher]"]
+#: Factory building the replica at one index slot:
+#: (index) -> (engine, scheduler, batcher).  The index lets a mixed
+#: fleet grow along its platform pattern and lets a crash recovery
+#: rebuild a dead replica on its own platform.
+ReplicaFactory = Callable[[int], "tuple[ServingEngine, Scheduler, Batcher]"]
 
 
 class StreamDispatcher:
@@ -129,6 +132,15 @@ class StreamDispatcher:
 
     def resize(self, active: int, work_until: Sequence[float]) -> None:
         """The active replica set changed (autoscaler or stream start)."""
+
+    def bind(self, engines: "Sequence[ServingEngine]") -> None:
+        """The live replica list, before the stream starts.
+
+        The loop mutates the bound list in place (autoscale growth
+        appends, crash recovery replaces), so cost-aware dispatchers —
+        which price each arrival under each replica's own platform —
+        stay current without further calls.  Default: ignore it.
+        """
 
 
 def single_replica_dispatch(
@@ -490,6 +502,7 @@ def _run_fifo_unbatched(
     result_for = engine.result_for
     work = [0.0]
     if isinstance(dispatch, StreamDispatcher):
+        dispatch.bind([engine])
         dispatch.resize(1, work)
     free_at = 0.0
     n = 0
@@ -561,6 +574,7 @@ def _run_single_replica(
     qlen = scheduler.__len__
     work = [0.0]
     if isinstance(dispatch, StreamDispatcher):
+        dispatch.bind([engine])
         dispatch.resize(1, work)
     free_at = 0.0
     busy = False
@@ -722,6 +736,7 @@ def _run_heap(
     if autoscaler is not None:
         autoscaler.reset()
     if rich:
+        dispatch.bind(engine_list)
         dispatch.resize(active, work_until)
 
     events: list[tuple[float, int, int]] = []
@@ -729,7 +744,7 @@ def _run_heap(
     def add_replica() -> None:
         if replica_factory is None:
             raise ServingError("autoscaler needs a replica_factory to scale up")
-        engine, scheduler, batcher = replica_factory()
+        engine, scheduler, batcher = replica_factory(len(engine_list))
         engine_list.append(engine)
         scheduler_list.append(scheduler)
         batcher_list.append(batcher)
@@ -1000,6 +1015,7 @@ def _run_faulty(
     if autoscaler is not None:
         autoscaler.reset()
     if rich:
+        dispatch.bind(engine_list)
         dispatch.resize(active, work_until)
 
     timeout_s = None if timeout_ms is None else timeout_ms / 1e3
@@ -1033,7 +1049,7 @@ def _run_faulty(
     def add_replica(now: float) -> None:
         if replica_factory is None:
             raise ServingError("autoscaler needs a replica_factory to scale up")
-        engine, scheduler, batcher = replica_factory()
+        engine, scheduler, batcher = replica_factory(len(engine_list))
         engine_list.append(engine)
         scheduler_list.append(scheduler)
         batcher_list.append(batcher)
@@ -1312,7 +1328,7 @@ def _run_faulty(
                 # The replacement engine comes through the fleet's
                 # factory: it shares the fleet's compile cache, so
                 # recovery warmup costs exactly what a scale-up does.
-                engine, _scheduler, _batcher = replica_factory()
+                engine, _scheduler, _batcher = replica_factory(replica)
                 engine_list[replica] = engine
                 bind_cost(replica)
             schedule_crash(replica, now)

@@ -2,14 +2,26 @@
 
 The ROADMAP's north star is fleet-scale traffic; a single batch-1
 accelerator saturates at ``1 / service_time`` requests per second.  A
-:class:`Fleet` models the obvious scale-out: N identical replicas behind
-a dispatcher.  Two dispatch policies are built in:
+:class:`Fleet` models the obvious scale-out: N replicas behind a
+dispatcher — identical replicas of one platform, or a heterogeneous
+*mix* (``"plasticine:2,brainwave:1,gpu:1"``) pairing a spatial tier
+with throughput or edge tiers the way the paper's Table 6 compares
+them.  Three dispatch policies are built in:
 
 * ``"round-robin"`` — request *i* goes to replica ``i % N``; oblivious
   to load, cheap, and the right baseline.
-* ``"least-loaded"`` — each request goes to the replica that will free
-  up first (join-the-shortest-queue for deterministic service times),
-  which strictly dominates round-robin on bursty Poisson traffic.
+* ``"least-loaded"`` — each request goes to the replica that will
+  *complete* it first.  On a homogeneous fleet every replica costs the
+  same, so this is join-the-shortest-queue; on a mixed fleet the
+  projected completion is evaluated under each replica's own cost
+  model (a 1760-unit LSTM is cheap on Plasticine, expensive on a CPU
+  tier), which is what makes heterogeneous fleets worth provisioning.
+* ``"affinity"`` — sticky routing: the first request of a key (task
+  family, tenant, or sequence-length band — see ``affinity_by``) picks
+  the platform whose replica would finish it soonest, and later
+  requests with the same key stay on that platform tier while it has
+  active replicas.  Keeps each tier's compile caches hot and gives
+  every class a stable latency profile.
 
 Dispatch decides *which replica* gets a request on arrival; each replica
 then orders its own ready queue with a pluggable scheduler
@@ -18,17 +30,21 @@ batching policy (:mod:`repro.serving.batching`), one instance of each
 per replica.  The simulation itself is the shared heap-based event loop
 in :mod:`repro.serving.events`.
 
-Replicas share one prepared-model cache, so a fleet compiles each task
-exactly once no matter how many replicas serve it — including replicas
-added mid-stream by an :class:`~repro.serving.autoscaler.Autoscaler`,
-which grows and shrinks the active set against queue depth and SLO
-pressure and logs its actions on the report.
+Replicas of the same platform share one prepared-model cache, so a
+fleet compiles each (platform, task) pair exactly once no matter how
+many replicas serve it — including replicas added mid-stream by an
+:class:`~repro.serving.autoscaler.Autoscaler`, which grows and shrinks
+the active set against queue depth and SLO pressure and logs its
+actions on the report.  Mixed fleets keep one cache *per platform*:
+prepared models never cross platforms
+(:meth:`~repro.serving.platform.Platform._check_prepared`).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from itertools import groupby
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ServingError
@@ -40,11 +56,75 @@ from repro.serving.faults import FaultPolicy, make_fault_policy
 from repro.serving.platform import Platform, PreparedModel
 from repro.serving.scheduler import Scheduler, make_scheduler
 from repro.serving.stats import StreamSummary
+from repro.serving.traffic import length_band
 from repro.workloads.deepbench import RNNTask
 
-__all__ = ["Fleet", "FleetReport", "SCHEDULING_POLICIES"]
+__all__ = [
+    "Fleet",
+    "FleetReport",
+    "SCHEDULING_POLICIES",
+    "AFFINITY_KEYS",
+    "parse_fleet_mix",
+]
 
-SCHEDULING_POLICIES = ("round-robin", "least-loaded")
+SCHEDULING_POLICIES = ("round-robin", "least-loaded", "affinity")
+
+#: Request attributes the ``affinity`` policy can pin a platform tier by.
+AFFINITY_KEYS = ("task", "tenant", "length-band")
+
+
+def parse_fleet_mix(spec: str) -> tuple[str, ...]:
+    """Expand a fleet-mix spec into one platform name per replica.
+
+    The spec is a comma-separated list of ``platform[:count]`` entries
+    (count defaults to 1), mirroring the CLI's ``--mix`` idiom:
+
+        >>> parse_fleet_mix("plasticine:2,brainwave:1,gpu")
+        ('plasticine', 'plasticine', 'brainwave', 'gpu')
+
+    Platform names are validated by the registry when the engines are
+    built, not here; malformed counts raise
+    :class:`~repro.errors.ServingError` immediately.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ServingError(f"empty fleet mix spec {spec!r}")
+    names: list[str] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        name, _, count_str = entry.partition(":")
+        name = name.strip()
+        if not name:
+            raise ServingError(f"empty platform entry in fleet mix {spec!r}")
+        if count_str:
+            try:
+                count = int(count_str)
+            except ValueError:
+                raise ServingError(
+                    f"bad replica count {count_str.strip()!r} in fleet "
+                    f"mix {spec!r}"
+                ) from None
+            if count < 1:
+                raise ServingError(
+                    f"replica count must be >= 1 in fleet mix {spec!r}"
+                )
+        else:
+            count = 1
+        names.extend([name] * count)
+    return tuple(names)
+
+
+def _mix_label(names: Sequence[str]) -> str:
+    """Canonical ``name:count`` label for a replica roster."""
+    return ",".join(
+        f"{name}:{len(list(run))}" for name, run in groupby(names)
+    )
+
+
+def _no_active_replicas() -> ServingError:
+    return ServingError(
+        "cannot dispatch: the fleet has no active replicas (the active "
+        "set was resized to 0 mid-stream)"
+    )
 
 
 class _RoundRobinDispatcher(StreamDispatcher):
@@ -57,6 +137,10 @@ class _RoundRobinDispatcher(StreamDispatcher):
         self._active = active
 
     def choose(self, seq: int, request: ServeRequest) -> int:
+        if self._active < 1:
+            # A resize drove the active set to zero; ``seq % 0`` would
+            # surface as a bare ZeroDivisionError deep in the event loop.
+            raise _no_active_replicas()
         return seq % self._active
 
 
@@ -91,19 +175,140 @@ class _LeastLoadedDispatcher(StreamDispatcher):
                 heapq.heappush(self._heap, (values[j], j))
         self._active = active
 
+    def choose(self, seq: int, request: ServeRequest) -> int:
+        active = self._active
+        if active < 1:
+            raise _no_active_replicas()
+        heap = self._heap
+        values = self._values
+        while True:
+            while heap:
+                value, j = heap[0]
+                if j < active and values[j] == value:
+                    return j
+                heapq.heappop(heap)
+            # Every entry went stale at once (reachable when crashes or
+            # a resize-down → resize-up cycle invalidate the whole
+            # heap); re-seed the live projections instead of indexing
+            # into an empty heap.
+            for j in range(active):
+                heapq.heappush(heap, (values[j], j))
+
     def assign(self, replica: int, work_until_s: float) -> None:
         self._values[replica] = work_until_s
         heapq.heappush(self._heap, (work_until_s, replica))
 
-    def choose(self, seq: int, request: ServeRequest) -> int:
-        heap = self._heap
+
+class _CostAwareDispatcher(StreamDispatcher):
+    """Shared machinery for dispatchers that rank replicas by projected
+    completion under each replica's *own* cost model.
+
+    On a heterogeneous fleet "least loaded" is ill-defined without the
+    cost model: the replica that frees up first may still finish the
+    request last if its platform serves the task slowly.  Subclasses
+    call :meth:`_best_in` over candidate replica indices; the projected
+    completion is ``max(arrival, free_at) + latency(replica, task)``,
+    with the per-replica latency read through the engine's memoized
+    cost model (O(1) after first sight of a shape).
+    """
+
+    def __init__(self) -> None:
+        self._active = 0
+        self._values: list[float] = []
+        self._engines: Sequence[ServingEngine] = ()
+
+    def bind(self, engines: Sequence[ServingEngine]) -> None:
+        self._engines = engines
+
+    def resize(self, active: int, work_until: Sequence[float]) -> None:
         values = self._values
+        for j in range(len(values), len(work_until)):
+            values.append(work_until[j])
+        self._active = active
+
+    def assign(self, replica: int, work_until_s: float) -> None:
+        self._values[replica] = work_until_s
+
+    def _completion(self, j: int, request: ServeRequest) -> float:
+        free_at = self._values[j]
+        arrival = request.arrival_s
+        start = arrival if arrival > free_at else free_at
+        return start + self._engines[j].result_for(request.task).latency_s
+
+    def _best_in(self, candidates: Iterable[int], request: ServeRequest) -> int:
+        best_j = -1
+        best = 0.0
+        for j in candidates:
+            completion = self._completion(j, request)
+            if best_j < 0 or completion < best:
+                best_j, best = j, completion
+        return best_j
+
+
+class _HeterogeneousLeastLoadedDispatcher(_CostAwareDispatcher):
+    """Least-loaded for mixed fleets: earliest projected *completion*.
+
+    O(active) per arrival — mixed fleets are small (a handful of
+    tiers), and the per-replica latency lookup is memoized, so the scan
+    stays cheap; homogeneous fleets keep the O(log N) heap dispatcher
+    and its bit-identical tie-breaks.
+    """
+
+    def choose(self, seq: int, request: ServeRequest) -> int:
+        if self._active < 1:
+            raise _no_active_replicas()
+        return self._best_in(range(self._active), request)
+
+
+class _AffinityDispatcher(_CostAwareDispatcher):
+    """Sticky platform-tier routing keyed by task/tenant/length band.
+
+    The first request of a key is placed like heterogeneous
+    least-loaded (earliest projected completion fleet-wide) and *pins*
+    the key to the chosen replica's platform; subsequent requests with
+    the same key are balanced by projected completion across that
+    platform's active replicas only.  A key whose pinned platform loses
+    all active replicas (autoscale shrink) is re-pinned by a fresh
+    fleet-wide scan.
+    """
+
+    def __init__(self, key_of: Callable[[ServeRequest], object]) -> None:
+        super().__init__()
+        self._key_of = key_of
+        self._pins: dict[object, str] = {}
+
+    def choose(self, seq: int, request: ServeRequest) -> int:
         active = self._active
-        while True:
-            value, j = heap[0]
-            if j < active and values[j] == value:
+        if active < 1:
+            raise _no_active_replicas()
+        engines = self._engines
+        key = self._key_of(request)
+        pinned = self._pins.get(key)
+        if pinned is not None:
+            j = self._best_in(
+                (j for j in range(active) if engines[j].platform_name == pinned),
+                request,
+            )
+            if j >= 0:
                 return j
-            heapq.heappop(heap)
+        j = self._best_in(range(active), request)
+        self._pins[key] = engines[j].platform_name
+        return j
+
+
+def _affinity_key_fn(affinity_by: str) -> Callable[[ServeRequest], object]:
+    if affinity_by == "task":
+        # One key per task *family*: length variants share the compiled
+        # state (length-flexible platforms), so they share the pin too.
+        return lambda request: request.task.with_timesteps(1)
+    if affinity_by == "tenant":
+        return lambda request: request.tenant
+    if affinity_by == "length-band":
+        return lambda request: length_band(request.task.timesteps, 2.0)
+    raise ServingError(
+        f"unknown affinity key {affinity_by!r}; "
+        f"known: {', '.join(AFFINITY_KEYS)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -130,19 +335,52 @@ class FleetReport(StreamReport):
     #: Replicas still active when the stream drained; below ``replicas``
     #: when the autoscaler scaled down.
     active_replicas: int = 1
+    #: Platform key of each provisioned replica, in replica order.
+    #: Empty means "homogeneous" (every replica is ``platform``) so
+    #: reports built before mixed fleets existed keep working.
+    platforms: tuple[str, ...] = field(default=(), repr=False)
 
     @property
     def n_replicas(self) -> int:
         return self.replicas
 
     @property
+    def replica_platforms(self) -> tuple[str, ...]:
+        if self.platforms:
+            return self.platforms
+        return (self.platform,) * self.n_replicas
+
+    @property
     def max_rate_per_s(self) -> float:
         """Sustainable rate of the whole fleet, not one replica.
+
+        A homogeneous fleet sustains ``replicas / mean_service`` — the
+        pre-heterogeneity formula, kept exact.  A mixed fleet sums each
+        replica's *own* ``1 / mean_service`` (its platform's mean over
+        the responses it could have served); multiplying a fleet-wide
+        mean by the replica count would let a slow edge tier inflate
+        the fast tier's capacity and vice versa.  Platforms that served
+        nothing fall back to the fleet-wide mean.
 
         With autoscaling this is the *peak* capacity the stream reached
         (``replicas`` engines); the policy can re-grow to it on demand.
         """
-        return super().max_rate_per_s * self.n_replicas
+        roster = self.replica_platforms
+        if len(set(roster)) <= 1:
+            return super().max_rate_per_s * self.n_replicas
+        service: dict[str, float] = {}
+        count: dict[str, int] = {}
+        for r in self.responses:
+            key = r.result.platform
+            service[key] = service.get(key, 0.0) + r.service_s
+            count[key] = count.get(key, 0) + 1
+        fleet_mean = sum(service.values()) / self.n_requests
+        rate = 0.0
+        for name in roster:
+            served = count.get(name, 0)
+            mean = service[name] / served if served else fleet_mean
+            rate += 1.0 / mean
+        return rate
 
     @property
     def per_replica_counts(self) -> tuple[int, ...]:
@@ -161,7 +399,13 @@ class FleetReport(StreamReport):
 
 
 class Fleet:
-    """N engine replicas of one platform behind a dispatcher.
+    """N engine replicas — of one platform or a mix — behind a dispatcher.
+
+    ``platform`` accepts a single platform (name or instance), a
+    sequence of per-replica platforms, or a fleet-mix spec string
+    (``"name[:count],..."`` — see :func:`parse_fleet_mix`).  With a
+    single platform, ``replicas`` keeps its historical default of 2; a
+    roster fixes the replica count itself.
 
     Example::
 
@@ -169,43 +413,87 @@ class Fleet:
         >>> fleet = Fleet("gpu", replicas=3, policy="least-loaded")
         >>> (fleet.n_replicas, fleet.platform_name)
         (3, 'gpu')
+        >>> mixed = Fleet("plasticine:2,brainwave:1,gpu")
+        >>> (mixed.n_replicas, mixed.platform_name, mixed.is_heterogeneous)
+        (4, 'plasticine:2,brainwave:1,gpu:1', True)
     """
 
     def __init__(
         self,
-        platform: str | Platform,
+        platform: "str | Platform | Sequence[str | Platform]",
         *,
-        replicas: int = 2,
+        replicas: int | None = None,
         policy: str = "round-robin",
+        affinity_by: str = "task",
         **platform_options: object,
     ) -> None:
-        if replicas < 1:
-            raise ServingError("a fleet needs at least one replica")
         if policy not in SCHEDULING_POLICIES:
             raise ServingError(
                 f"unknown scheduling policy {policy!r}; "
                 f"known: {', '.join(SCHEDULING_POLICIES)}"
             )
-        if not isinstance(platform, str) and platform_options:
+        if affinity_by not in AFFINITY_KEYS:
             raise ServingError(
-                "platform options only apply when platform is given by name"
+                f"unknown affinity key {affinity_by!r}; "
+                f"known: {', '.join(AFFINITY_KEYS)}"
+            )
+        if isinstance(platform, str) and (":" in platform or "," in platform):
+            platform = parse_fleet_mix(platform)
+        if isinstance(platform, (str, Platform)):
+            if replicas is None:
+                replicas = 2
+            pattern: tuple[str | Platform, ...] = (platform,)
+        else:
+            pattern = tuple(platform)
+            if not pattern:
+                raise ServingError("a fleet needs at least one replica")
+            if replicas is None:
+                replicas = len(pattern)
+            elif replicas != len(pattern):
+                raise ServingError(
+                    f"replicas={replicas} contradicts the {len(pattern)}"
+                    f"-replica platform roster; drop one of the two"
+                )
+        if replicas < 1:
+            raise ServingError("a fleet needs at least one replica")
+        named = {spec for spec in pattern if isinstance(spec, str)}
+        if platform_options and (len(named) != len(pattern) or len(named) > 1):
+            raise ServingError(
+                "platform options only apply when every replica is the "
+                "same platform given by name"
             )
         self.policy = policy
-        self._platform_spec = platform
+        self._affinity_by = affinity_by
+        #: Replica index ``i`` runs ``pattern[i % len(pattern)]`` — the
+        #: roster repeats, so autoscaled growth extends the mix in the
+        #: same proportions instead of cloning one arbitrary tier.
+        self._pattern = pattern
         self._platform_options = platform_options
-        # One engine per replica over a shared compile cache and a
-        # shared result memo: the fleet prepares (and costs) each
-        # distinct shape once, not once per replica — even for replicas
-        # the autoscaler adds mid-stream.
-        self._shared_cache: dict[RNNTask, PreparedModel] = {}
-        self._shared_memo: dict = {}
-        self.engines = tuple(self._new_engine() for _ in range(replicas))
+        # One compile cache and one result memo *per platform*: each
+        # (platform, shape) pair prepares once no matter how many
+        # replicas serve it — even replicas the autoscaler adds
+        # mid-stream — while prepared models never cross platforms
+        # (Platform._check_prepared forbids the handoff).
+        self._caches: dict[object, dict[RNNTask, PreparedModel]] = {}
+        self._memos: dict[object, dict] = {}
+        self.engines = tuple(self._new_engine(i) for i in range(replicas))
 
-    def _new_engine(self) -> ServingEngine:
+    def _spec_for(self, index: int) -> "str | Platform":
+        return self._pattern[index % len(self._pattern)]
+
+    def _platform_name_for(self, index: int) -> str:
+        spec = self._spec_for(index)
+        return spec if isinstance(spec, str) else spec.name
+
+    def _new_engine(self, index: int) -> ServingEngine:
+        spec = self._spec_for(index)
+        # Same-name string specs share caches; distinct Platform
+        # instances keep their own (their options may differ).
+        key: object = spec if isinstance(spec, str) else id(spec)
         return ServingEngine(
-            self._platform_spec,
-            cache=self._shared_cache,
-            memo=self._shared_memo,
+            spec,
+            cache=self._caches.setdefault(key, {}),
+            memo=self._memos.setdefault(key, {}),
             **self._platform_options,
         )
 
@@ -214,8 +502,21 @@ class Fleet:
         return len(self.engines)
 
     @property
+    def replica_platforms(self) -> tuple[str, ...]:
+        """Platform key of each replica, in replica order."""
+        return tuple(e.platform_name for e in self.engines)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return len(set(self.replica_platforms)) > 1
+
+    @property
     def platform_name(self) -> str:
-        return self.engines[0].platform_name
+        """One platform name, or the canonical mix label for mixed fleets."""
+        roster = self.replica_platforms
+        if len(set(roster)) == 1:
+            return roster[0]
+        return _mix_label(roster)
 
     def _dispatcher(self) -> StreamDispatcher:
         # A fresh (stateful) incremental dispatcher per stream run; the
@@ -223,6 +524,12 @@ class Fleet:
         # handing every arrival an O(replicas) snapshot.
         if self.policy == "round-robin":
             return _RoundRobinDispatcher()
+        if self.policy == "affinity":
+            return _AffinityDispatcher(_affinity_key_fn(self._affinity_by))
+        if self.is_heterogeneous:
+            # Mixed fleets need the cost-aware ranking; homogeneous
+            # fleets keep the O(log N) heap and its exact tie-breaks.
+            return _HeterogeneousLeastLoadedDispatcher()
         return _LeastLoadedDispatcher()
 
     def serve_stream(
@@ -294,13 +601,17 @@ class Fleet:
         if autoscaler is not None:
             # Start at the policy floor; growth happens via the factory.
             while len(engines) < autoscaler.min_replicas:
-                engines.append(self._new_engine())
+                engines.append(self._new_engine(len(engines)))
             del engines[max(autoscaler.min_replicas, 1):]
         schedulers = [new_scheduler() for _ in engines]
         batchers = [new_batcher() for _ in engines]
 
-        def replica_factory() -> tuple[ServingEngine, Scheduler, Batcher]:
-            return self._new_engine(), new_scheduler(), new_batcher()
+        def replica_factory(index: int) -> tuple[ServingEngine, Scheduler, Batcher]:
+            # ``index`` is the replica slot being (re)built: autoscaled
+            # growth extends the fleet's platform pattern, and a crash
+            # recovery rebuilds the dead replica on its *own* platform
+            # rather than whatever tier happens to come first.
+            return self._new_engine(index), new_scheduler(), new_batcher()
 
         if mode not in ("full", "summary"):
             raise ServingError(
@@ -346,6 +657,9 @@ class Fleet:
             summary=summary,
             **fault_kwargs,
         )
+        roster = tuple(
+            self._platform_name_for(i) for i in range(outcome.n_replicas)
+        )
         if summary is not None:
             return summary.finalize(
                 scale_events=outcome.scale_events,
@@ -353,6 +667,7 @@ class Fleet:
                 active_replicas=outcome.active_replicas,
                 policy=self.policy,
                 fault_stats=outcome.fault_stats,
+                platforms=roster if self.is_heterogeneous else (),
             )
         return FleetReport(
             platform=self.platform_name,
@@ -367,4 +682,5 @@ class Fleet:
             active_replicas=outcome.active_replicas,
             faults=fault_policy.name,
             fault_stats=outcome.fault_stats,
+            platforms=roster if self.is_heterogeneous else (),
         )

@@ -223,6 +223,11 @@ class _ShardJob:
     slo_ms: float | None
     autoscaler: Autoscaler | None
     seed: int
+    #: Fleet-mix spec ("name[:count],..."); overrides platform/replicas
+    #: with a per-shard heterogeneous fleet when set.
+    mix: str | None = None
+    #: Affinity key for policy="affinity" fleets (task/tenant/length-band).
+    affinity_by: str = "task"
     faults: str = "none"
     fault_seed: int = 0
     timeout_ms: float | None = None
@@ -242,8 +247,14 @@ class _ShardJob:
 def _run_shard(job: _ShardJob) -> StreamSummary:
     """Worker entry point: one shard, one independent event loop."""
     options = dict(job.platform_options)
-    if job.replicas > 1 or job.autoscaler is not None:
+    if job.mix is not None:
+        # Every shard runs the same heterogeneous fleet, so the merged
+        # summary's platform label and roster are shard-invariant.
         server: "ServingEngine | Fleet" = Fleet(
+            job.mix, policy=job.policy, affinity_by=job.affinity_by
+        )
+    elif job.replicas > 1 or job.autoscaler is not None:
+        server = Fleet(
             job.platform, replicas=job.replicas, policy=job.policy, **options
         )
     else:
@@ -301,6 +312,8 @@ def serve_parallel(
     slo_ms: float | None = None,
     autoscaler: Autoscaler | None = None,
     seed: int = 0,
+    mix: str | None = None,
+    affinity_by: str = "task",
     faults: str = "none",
     fault_seed: int = 0,
     timeout_ms: float | None = None,
@@ -341,6 +354,13 @@ def serve_parallel(
         autoscaler: Optional per-shard autoscaler (each shard scales
             against its own queue depth, like an independent cell).
         seed: Base seed for ``shard_by="generate"`` derivation.
+        mix: Fleet-mix spec (``"name[:count],..."``, see
+            :func:`~repro.serving.fleet.parse_fleet_mix`): each shard
+            runs that heterogeneous fleet instead of ``replicas``
+            homogeneous replicas of ``platform``.  Mutually exclusive
+            with ``replicas > 1`` and with ``platform_options``.
+        affinity_by: Routing key for ``policy="affinity"`` fleets, one
+            of :data:`~repro.serving.fleet.AFFINITY_KEYS`.
         faults: Fault-policy registry key (a *string*, since workers
             re-create the policy; instances do not ship).  Each shard
             injects faults over its own :func:`shard_seed`-derived
@@ -389,6 +409,11 @@ def serve_parallel(
             "parallel serving needs a fault-policy registry key, not an "
             "instance; workers re-create the policy per shard"
         )
+    if mix is not None and (replicas != 1 or platform_options):
+        raise ServingError(
+            "mix= sets the per-shard fleet roster itself; do not also "
+            "pass replicas or platform options"
+        )
     factory: "StreamFactory | None" = None
     parts: "list[tuple[ServeRequest, ...] | None]"
     if callable(arrivals):
@@ -418,6 +443,8 @@ def serve_parallel(
             slo_ms=slo_ms,
             autoscaler=autoscaler,
             seed=seed,
+            mix=mix,
+            affinity_by=affinity_by,
             faults=faults,
             fault_seed=fault_seed,
             timeout_ms=timeout_ms,

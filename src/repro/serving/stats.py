@@ -52,6 +52,7 @@ import math
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import ServingError
+from repro.platforms import ELECTRICITY_USD_PER_KWH, device_usd_per_hour, tdp_of
 from repro.serving.request import ServeRequest
 from repro.serving.result import FaultStats, ServingResult
 from repro.serving.traffic import length_band
@@ -137,6 +138,7 @@ class _ClassAcc:
         "max_sojourn_ms",
         "samples",
         "counts",
+        "plat",
     )
 
     def __init__(
@@ -176,6 +178,11 @@ class _ClassAcc:
         #: ``None`` (spilled into ``counts``).
         self.samples: list[float] | None = []
         self.counts: list[int] | None = None
+        #: Executing platform -> [service_sum_s, count]: which hardware
+        #: actually served this class's requests (energy attribution and
+        #: per-platform capacity on mixed fleets; one entry when the
+        #: fleet is homogeneous).
+        self.plat: dict[str, list] = {}
 
     def add_sojourn(self, sojourn_ms: float) -> None:
         samples = self.samples
@@ -215,6 +222,7 @@ class _ClassAcc:
             setattr(new, name, getattr(self, name))
         new.samples = None if self.samples is None else list(self.samples)
         new.counts = None if self.counts is None else list(self.counts)
+        new.plat = {name: list(entry) for name, entry in self.plat.items()}
         return new
 
     def absorb(self, other: "_ClassAcc") -> None:
@@ -230,6 +238,14 @@ class _ClassAcc:
         """
         self.n += other.n
         self.sojourn_sum_ms += other.sojourn_sum_ms
+        plat = self.plat
+        for name, entry in other.plat.items():
+            mine = plat.get(name)
+            if mine is None:
+                plat[name] = list(entry)
+            else:
+                mine[0] += entry[0]
+                mine[1] += entry[1]
         self.queue_sum_s += other.queue_sum_s
         self.service_sum_s += other.service_sum_s
         self.batch_sum += other.batch_sum
@@ -320,6 +336,9 @@ class StreamSummary:
         self.policy: str | None = None
         self.replicas = 1
         self.active_replicas = 1
+        #: Explicit per-replica platform roster for mixed fleets; empty
+        #: means homogeneous (every replica is ``platform``).
+        self._platforms: "tuple[str, ...]" = ()
         self._classes: dict[tuple, _ClassAcc] = (
             {} if _classes is None else _classes
         )
@@ -397,7 +416,14 @@ class StreamSummary:
         acc.n += 1
         acc.sojourn_sum_ms += sojourn_ms
         acc.queue_sum_s += start_s - arrival
-        acc.service_sum_s += result.latency_s / batch_size
+        service_s = result.latency_s / batch_size
+        acc.service_sum_s += service_s
+        entry = acc.plat.get(result.platform)
+        if entry is None:
+            acc.plat[result.platform] = [service_s, 1]
+        else:
+            entry[0] += service_s
+            entry[1] += 1
         acc.batch_sum += batch_size
         if batch_size > acc.batch_max:
             acc.batch_max = batch_size
@@ -461,6 +487,7 @@ class StreamSummary:
         active_replicas: int = 1,
         policy: str | None = None,
         fault_stats: "FaultStats | None" = None,
+        platforms: "tuple[str, ...]" = (),
     ) -> "StreamSummary":
         """Attach end-of-stream metadata; raises on an empty stream."""
         if not self._classes:
@@ -471,6 +498,7 @@ class StreamSummary:
         self.policy = policy
         if fault_stats is not None:
             self.fault_stats = fault_stats
+        self._platforms = tuple(platforms)
         return self
 
     # -- merging ----------------------------------------------------------
@@ -545,6 +573,8 @@ class StreamSummary:
         policies = set()
         replicas = active = 0
         counts: list[int] = []
+        roster: list[str] = []
+        explicit_roster = False
         fault_stats = FaultStats()
         for part in parts:
             self._check_mergeable(part)
@@ -561,8 +591,16 @@ class StreamSummary:
                 replicas += part.replicas
                 active += part.active_replicas
                 counts.extend(part.per_replica_counts)
+                # Rosters concatenate in shard order, exactly like
+                # per_replica_counts; shards without an explicit roster
+                # contribute their homogeneous expansion.
+                if part._platforms:
+                    explicit_roster = True
+                roster.extend(part.replica_platforms)
         merged.fault_stats = fault_stats
         merged._replica_counts = counts
+        if explicit_roster:
+            merged._platforms = tuple(roster)
         merged.replicas = max(replicas, 1)
         merged.active_replicas = max(active, 1)
         merged.scale_events = tuple(sorted(events, key=lambda e: e.time_s))
@@ -644,14 +682,93 @@ class StreamSummary:
 
     @property
     def max_rate_per_s(self) -> float:
-        """Sustainable rate of the serving capacity the stream used:
-        one over the mean service time, times the (peak) replica count —
-        mirroring ``StreamReport`` / ``FleetReport``."""
-        return self.replicas / (self.mean_service_ms / 1e3)
+        """Sustainable rate of the serving capacity the stream used —
+        mirroring ``StreamReport`` / ``FleetReport``.
+
+        Homogeneous: one over the mean service time, times the (peak)
+        replica count — the exact historical formula.  Mixed fleets sum
+        each replica's own ``1 / mean_service`` under its platform
+        (platforms that served nothing fall back to the fleet mean).
+        """
+        roster = self.replica_platforms
+        if len(set(roster)) <= 1:
+            return self.replicas / (self.mean_service_ms / 1e3)
+        service, count = self._per_platform_service()
+        fleet_mean = sum(service.values()) / self.n_requests
+        rate = 0.0
+        for name in roster:
+            served = count.get(name, 0)
+            mean = service[name] / served if served else fleet_mean
+            rate += 1.0 / mean
+        return rate
 
     @property
     def saturated(self) -> bool:
         return self.offered_rate_per_s >= self.max_rate_per_s
+
+    # -- energy / TCO accounting ------------------------------------------
+
+    def _per_platform_service(self) -> "tuple[dict[str, float], dict[str, int]]":
+        service: dict[str, float] = {}
+        count: dict[str, int] = {}
+        for acc in self._accs():
+            for name, entry in acc.plat.items():
+                service[name] = service.get(name, 0.0) + entry[0]
+                count[name] = count.get(name, 0) + entry[1]
+        return service, count
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock span of the stream: the last observed finish."""
+        return max(acc.max_finish_s for acc in self._accs())
+
+    @property
+    def replica_platforms(self) -> "tuple[str, ...]":
+        """Platform key of every provisioned replica, in replica order
+        (shard order after a merge)."""
+        if self._platforms:
+            return self._platforms
+        return (self.platform,) * self.replicas
+
+    @property
+    def per_platform_counts(self) -> "dict[str, int]":
+        """Requests served per *executing* platform; sums to
+        ``n_requests``."""
+        _service, count = self._per_platform_service()
+        return dict(sorted(count.items()))
+
+    @property
+    def energy_j(self) -> float:
+        """Busy energy: accelerator-seconds × that platform's power
+        draw, exactly as on :class:`~repro.serving.engine.StreamReport`."""
+        service, _count = self._per_platform_service()
+        return sum(
+            seconds * tdp_of(name) for name, seconds in service.items()
+        )
+
+    @property
+    def joules_per_request(self) -> float:
+        """Busy energy per inference — the paper-style J/request figure."""
+        return self.energy_j / self.n_requests
+
+    @property
+    def fleet_watt_hours(self) -> float:
+        """Provisioned energy: every replica powered for the makespan
+        (idle or not) — the electricity the TCO model bills."""
+        watts = sum(tdp_of(name) for name in self.replica_platforms)
+        return watts * self.makespan_s / 3600.0
+
+    @property
+    def cost_usd_per_1m_requests(self) -> float:
+        """Electricity plus amortized capital for the provisioned fleet,
+        normalized to one million requests — the capacity planner's
+        objective (see ``StreamReport.cost_usd_per_1m_requests``)."""
+        hours = self.makespan_s / 3600.0
+        energy_usd = self.fleet_watt_hours / 1e3 * ELECTRICITY_USD_PER_KWH
+        capital_usd = hours * sum(
+            device_usd_per_hour(name) for name in self.replica_platforms
+        )
+        return (energy_usd + capital_usd) / self.n_requests * 1e6
 
     @property
     def slo_miss_rate(self) -> float:

@@ -1,0 +1,151 @@
+"""Capacity-planner DSE: fleet-space enumeration and frontier scoring."""
+
+import json
+
+import pytest
+
+from repro.dse import FleetSpace, plan_capacity
+from repro.errors import DSEError
+from repro.workloads.deepbench import task
+
+SMALL = task("lstm", 256, 25)
+SMALL_SPACE = FleetSpace(platforms=("cpu", "gpu"), max_replicas=2)
+
+
+class TestFleetSpace:
+    def test_mix_enumeration(self):
+        space = FleetSpace(platforms=("gpu", "brainwave"), max_replicas=2)
+        assert list(space.mixes()) == [
+            ("brainwave",),
+            ("gpu",),
+            ("brainwave", "brainwave"),
+            ("brainwave", "gpu"),
+            ("gpu", "gpu"),
+        ]
+        assert space.n_candidates() == 5
+
+    def test_duplicate_platforms_collapse(self):
+        space = FleetSpace(platforms=("gpu", "gpu"), max_replicas=1)
+        assert list(space.mixes()) == [("gpu",)]
+
+    def test_axes_multiply(self):
+        space = FleetSpace(
+            platforms=("gpu",),
+            max_replicas=2,
+            schedulers=("fifo", "sjf"),
+            batchers=("none", "size-cap"),
+        )
+        assert space.n_candidates() == 2 * 2 * 2
+        assert len(list(space.candidates())) == 8
+
+    def test_bad_axes_rejected(self):
+        with pytest.raises(DSEError, match="empty fleet space"):
+            FleetSpace(platforms=())
+        with pytest.raises(DSEError, match="empty fleet space"):
+            FleetSpace(max_replicas=0)
+        with pytest.raises(DSEError, match="unknown policy"):
+            FleetSpace(policies=("random",))
+        with pytest.raises(DSEError, match="unknown scheduler"):
+            FleetSpace(schedulers=("lifo",))
+        with pytest.raises(DSEError, match="unknown batcher"):
+            FleetSpace(batchers=("mystery",))
+
+
+class TestPlanCapacity:
+    def test_best_meets_slo_with_energy_columns(self):
+        plan = plan_capacity(
+            SMALL,
+            slo_ms=5.0,
+            peak_rate_per_s=2000,
+            n_requests=300,
+            space=SMALL_SPACE,
+        )
+        assert len(plan.points) == SMALL_SPACE.n_candidates()
+        best = plan.best
+        assert best.meets_slo and best.p99_ms < 5.0
+        assert best.joules_per_request > 0
+        assert best.fleet_watt_hours > 0
+        assert best.cost_usd_per_1m > 0
+        assert all(
+            best.cost_usd_per_1m <= p.cost_usd_per_1m
+            for p in plan.feasible_points()
+        )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            slo_ms=5.0, peak_rate_per_s=1500, n_requests=200, space=SMALL_SPACE
+        )
+        assert plan_capacity(SMALL, **kwargs) == plan_capacity(SMALL, **kwargs)
+
+    def test_frontier_is_pareto(self):
+        plan = plan_capacity(
+            SMALL,
+            slo_ms=5.0,
+            peak_rate_per_s=2000,
+            n_requests=300,
+            space=SMALL_SPACE,
+        )
+        frontier = plan.frontier()
+        assert frontier
+        costs = [p.cost_usd_per_1m for p in frontier]
+        p99s = [p.p99_ms for p in frontier]
+        assert costs == sorted(costs)
+        assert all(later < earlier for earlier, later in zip(p99s, p99s[1:]))
+
+    def test_infeasible_space_raises_on_best(self):
+        plan = plan_capacity(
+            task("lstm", 1760, 25),
+            slo_ms=0.001,  # nothing serves a 1760-unit LSTM in a microsecond
+            peak_rate_per_s=100,
+            n_requests=50,
+            space=FleetSpace(platforms=("cpu",), max_replicas=1),
+        )
+        assert plan.feasible_points() == ()
+        with pytest.raises(DSEError, match="widen the space"):
+            plan.best
+
+    def test_json_artifact_shape(self):
+        plan = plan_capacity(
+            SMALL,
+            slo_ms=5.0,
+            peak_rate_per_s=1500,
+            n_requests=200,
+            space=SMALL_SPACE,
+        )
+        data = json.loads(plan.dumps())
+        assert set(data) == {
+            "task", "slo_ms", "n_requests", "n_candidates", "n_feasible",
+            "best", "frontier", "points",
+        }
+        assert data["n_candidates"] == len(plan.points)
+        assert data["best"]["mix"] == plan.best.mix
+        assert data["best"]["cost_usd_per_1m"] == plan.best.cost_usd_per_1m
+
+    def test_input_validation(self):
+        with pytest.raises(DSEError, match="slo_ms"):
+            plan_capacity(SMALL, slo_ms=0.0)
+        with pytest.raises(DSEError, match="n_requests"):
+            plan_capacity(SMALL, n_requests=0)
+        with pytest.raises(DSEError, match="peak_rate_per_s"):
+            plan_capacity(SMALL, peak_rate_per_s=0.0)
+
+    def test_mixed_fleet_beats_homogeneous_on_cost(self):
+        # gru-2816 at a peak above 2x Plasticine's capacity: one
+        # Brainwave replica covers the overflow more cheaply than a
+        # second/third replica of either platform alone.
+        plan = plan_capacity(
+            task("gru", 2816, 25),
+            slo_ms=5.0,
+            peak_rate_per_s=12000,
+            n_requests=4000,
+            space=FleetSpace(
+                platforms=("plasticine", "brainwave"), max_replicas=3
+            ),
+        )
+        best = plan.best
+        homogeneous = [p for p in plan.feasible_points() if not p.is_mixed]
+        assert best.is_mixed
+        assert homogeneous
+        assert best.cost_usd_per_1m < min(
+            p.cost_usd_per_1m for p in homogeneous
+        )

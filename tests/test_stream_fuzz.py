@@ -380,3 +380,115 @@ def test_fault_fuzz_parallel_merge_consistent():
         b.p50_ms, b.p99_ms, b.slo_attainment,
     )
     assert sum(s.n_requests for s in a.per_outcome().values()) == 120
+
+
+# -- mixed-fleet scenarios ----------------------------------------------
+
+_MIX_POOL = ("cpu", "gpu", "brainwave")
+
+
+def _draw_mix(rng: random.Random) -> str:
+    """A random heterogeneous roster spec (always >= 2 distinct tiers)."""
+    size = rng.randint(2, 4)
+    names = [rng.choice(_MIX_POOL) for _ in range(size)]
+    while len(set(names)) < 2:
+        names[rng.randrange(size)] = rng.choice(_MIX_POOL)
+    return ",".join(names)
+
+
+def _run_mixed(seed: int):
+    """Draw a whole heterogeneous-fleet scenario and run it end to end."""
+    rng = random.Random(20_000 + seed)
+    arrivals = _draw_stream(rng)
+    spec = _draw_mix(rng)
+    policy = rng.choice(("round-robin", "least-loaded", "affinity"))
+    affinity_by = rng.choice(("task", "tenant", "length-band"))
+    scheduler = rng.choice(_SCHEDULERS)
+    scenario = (
+        f"mix-seed={seed} mix={spec} policy={policy} "
+        f"affinity_by={affinity_by} scheduler={scheduler} n={len(arrivals)}"
+    )
+    fleet = Fleet(spec, policy=policy, affinity_by=affinity_by)
+    report = fleet.serve_stream(arrivals, slo_ms=100.0, scheduler=scheduler)
+    return arrivals, fleet, report, scenario
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzzed_mixed_fleet_invariants(seed):
+    arrivals, fleet, report, scenario = _run_mixed(seed)
+    _assert_invariants(arrivals, report, scenario)
+
+    # -- conservation across platforms: the per-platform counts
+    # partition the stream, and every platform served is on the roster.
+    counts = report.per_platform_counts
+    assert sum(counts.values()) == report.n_requests, scenario
+    assert set(counts) <= set(report.replica_platforms), scenario
+
+    # -- every response ran on the platform of its assigned replica.
+    roster = report.replica_platforms
+    for replica, r in zip(report.assignments, report.responses):
+        assert r.result.platform == roster[replica], scenario
+
+    # -- energy/TCO accounting well-formed on every mixed run.
+    assert report.energy_j > 0.0, scenario
+    assert report.joules_per_request == pytest.approx(
+        report.energy_j / report.n_requests
+    ), scenario
+    assert report.fleet_watt_hours > 0.0, scenario
+    assert report.cost_usd_per_1m_requests > 0.0, scenario
+
+
+@pytest.mark.parametrize("seed", (0, 3, 6))
+def test_fuzzed_affinity_routing_is_sticky(seed):
+    rng = random.Random(30_000 + seed)
+    arrivals = _draw_stream(rng)
+    report = Fleet(
+        "brainwave:2,gpu:1", policy="affinity", affinity_by="tenant"
+    ).serve_stream(arrivals, slo_ms=100.0)
+    by_tenant: dict = {}
+    for r in report.responses:
+        by_tenant.setdefault(r.request.tenant, set()).add(r.result.platform)
+    # No autoscaler shrinks a tier away, so a pin never moves: every
+    # tenant's requests land on exactly one platform.
+    assert all(len(platforms) == 1 for platforms in by_tenant.values())
+
+
+@pytest.mark.parametrize("seed", (1, 4))
+def test_mixed_fleet_summary_matches_full(seed):
+    rng = random.Random(40_000 + seed)
+    arrivals = _draw_stream(rng)
+    spec = _draw_mix(rng)
+    policy = rng.choice(("least-loaded", "affinity"))
+    full = Fleet(spec, policy=policy).serve_stream(arrivals, slo_ms=100.0)
+    summary = Fleet(spec, policy=policy).serve_stream(
+        arrivals, slo_ms=100.0, mode="summary"
+    )
+    assert summary.n_requests == full.n_requests
+    assert summary.per_platform_counts == full.per_platform_counts
+    assert summary.energy_j == pytest.approx(full.energy_j)
+    assert summary.max_rate_per_s == pytest.approx(full.max_rate_per_s)
+    assert summary.platform == full.platform
+
+
+def test_mixed_fleet_parallel_pool_size_invariant():
+    # The sharded mixed-fleet replay merges to the same summary
+    # whatever the worker-pool size.
+    from functools import partial
+
+    from repro.serving import poisson_arrivals, serve_parallel
+
+    make = partial(
+        poisson_arrivals,
+        task("lstm", 512, 25),
+        rate_per_s=3000.0,
+        n_requests=240,
+        seed=11,
+        materialize=False,
+    )
+    kwargs = dict(shards=3, slo_ms=5.0, mix="brainwave:1,gpu:1")
+    a = serve_parallel(make, "gpu", workers=1, **kwargs)
+    b = serve_parallel(make, "gpu", workers=3, **kwargs)
+    assert a.n_requests == b.n_requests == 240
+    assert a.per_platform_counts == b.per_platform_counts
+    assert (a.p50_ms, a.p99_ms, a.energy_j) == (b.p50_ms, b.p99_ms, b.energy_j)
+    assert a.platform == b.platform == "brainwave:1,gpu:1"

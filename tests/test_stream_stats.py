@@ -365,7 +365,7 @@ class TestResultMemo:
         # One replica consulted the cost model once; the whole fleet
         # shares that entry.
         assert sum(e.cache_stats.misses for e in fleet.engines) == 1
-        assert len(fleet._shared_memo) == 1
+        assert len(fleet._memos["gpu"]) == 1
 
     def test_stream_timeline_identical_with_and_without_memo(self):
         arrivals = poisson_arrivals(T, rate_per_s=2000, n_requests=300, seed=9)
