@@ -8,8 +8,8 @@ dot product, and the DSE never loses to the reconstructed paper choice.
 
 import pytest
 
-from repro.dse import paper_params, tune
-from repro.dse.search import evaluate
+from repro.dse import ParameterSpace, paper_params, tune
+from repro.dse.search import _MEMO, evaluate
 from repro.harness.report import format_table
 from repro.harness.tables import table7
 from repro.plasticine import PlasticineConfig
@@ -54,6 +54,56 @@ def test_dse_never_loses_to_paper_choice(benchmark, artifact):
             ["task", "dse hu/ru", "dse cyc/step", "paper hu/ru", "paper cyc/step"],
             rows,
             title="Table 7: DSE optimum vs reconstructed paper parameters",
+        ),
+    )
+
+
+def test_pass_axis_full_sweep_hoist_parity(benchmark, artifact):
+    """Satellite of the shared-runner PR: the full Table 7 sweep over the
+    pass-config axis builds one program per parameter point (the hoist),
+    and every winner is bit-identical to an unhoisted, unmemoized
+    re-evaluation.  The artifact reports which pass config wins per task.
+    """
+    chip = PlasticineConfig.rnn_serving()
+    n_passes = len(ParameterSpace.with_pass_axis().pass_configs)
+
+    def sweep():
+        _MEMO.clear()
+        results = {}
+        for t in table6_tasks():
+            res = tune(t, chip, pass_axis=True)
+            # The hoist: one program per LoopParams, shared across the
+            # whole pass-config axis (cold memo, so builds == params).
+            assert res.stats.candidates == res.stats.program_builds * n_passes, t.name
+            results[t.name] = (t, res)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, (t, res) in results.items():
+        best = res.best
+        fresh = evaluate(
+            t, best.params, chip,
+            pass_config=best.pass_config, memoize=False,
+        )
+        assert fresh == best, f"{name}: hoisted/memoized point drifted"
+        default = tune(t, chip).best  # warm memo: no rebuilds
+        rows.append(
+            [name,
+             f"{best.params.hu}/{best.params.ru}",
+             best.pass_config.key,
+             best.cycles_per_step,
+             default.cycles_per_step]
+        )
+        assert best.total_cycles <= default.total_cycles, name
+    artifact(
+        "table7_pass_axis",
+        format_table(
+            ["task", "dse hu/ru", "winning passes", "cyc/step",
+             "default-pipeline cyc/step"],
+            rows,
+            title="Table 7 over the optimization-pass axis: winning "
+            "pass config per task",
         ),
     )
 

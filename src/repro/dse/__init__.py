@@ -13,9 +13,15 @@ for the RNN-serving designs:
 * :mod:`repro.dse.capacity` — the same idiom one level up: search fleet
   size × platform mix × scheduler × batcher for the cheapest fleet that
   holds a P99 SLO on a diurnal serving workload.
+* :mod:`repro.dse.runner` — the shared execution engine both searches
+  route through: ordered worker-pool fan-out (bit-identical to the
+  sequential loops at any worker count), exact SLO pruning for the
+  capacity planner, and evaluation memoization (in-process LRU plus an
+  on-disk fingerprinted result cache) for the chip tuner.
 """
 
 from repro.dse.space import ParameterSpace
+from repro.dse.runner import DSEStats, EvalMemo, PruningSummary, prune_threshold
 from repro.dse.search import DSEResult, SearchPoint, search
 from repro.dse.tuner import paper_params, tune
 from repro.dse.capacity import CapacityPlan, CapacityPoint, FleetSpace, plan_capacity
@@ -25,6 +31,10 @@ __all__ = [
     "search",
     "SearchPoint",
     "DSEResult",
+    "DSEStats",
+    "EvalMemo",
+    "PruningSummary",
+    "prune_threshold",
     "tune",
     "paper_params",
     "FleetSpace",

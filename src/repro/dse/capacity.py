@@ -24,6 +24,19 @@ The idiom mirrors the chip-level DSE deliberately:
   frontier, JSON-serializable for the perf-smoke artifact
   (``benchmarks/bench_capacity_planner.py``).
 
+Since the shared DSE runner (:mod:`repro.dse.runner`) landed, the sweep
+runs at pool speed: the seeded diurnal stream is materialized **once**
+per plan and shared across candidates (inherited copy-on-write under
+the fork start method — workers on spawn platforms regenerate it from
+the seed, bit-identically), candidates fan out over ``workers``
+processes in candidate order, and — by default — each candidate's
+replay aborts as soon as enough completions have overshot the SLO that
+the full replay could only conclude ``meets_slo=False``
+(:func:`~repro.dse.runner.prune_threshold`).  Pruned points carry
+``pruned=True`` and partial metrics; feasible candidates are never
+pruned, so ``plan.best`` and the feasible frontier match the
+``prune=False`` full replay exactly.
+
 Example::
 
     >>> from repro.dse.capacity import FleetSpace, plan_capacity
@@ -44,9 +57,20 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from itertools import combinations_with_replacement, groupby
+from pathlib import Path
 from typing import Iterator
 
 from repro.errors import DSEError
+from repro.dse.runner import (
+    DSEStats,
+    PruneAbort,
+    PruningSummary,
+    fingerprint,
+    load_cached,
+    prune_threshold,
+    run_jobs,
+    store_cached,
+)
 from repro.serving.batching import available_batchers
 from repro.serving.fleet import SCHEDULING_POLICIES, Fleet
 from repro.serving.scheduler import available_schedulers
@@ -142,6 +166,12 @@ class CapacityPoint:
     joules_per_request: float
     fleet_watt_hours: float
     cost_usd_per_1m: float
+    #: True when the replay aborted early on a blown SLO miss budget
+    #: (the metric fields then cover only the simulated prefix).
+    pruned: bool = False
+    #: Requests actually simulated for this candidate (= the plan's
+    #: ``n_requests`` unless pruned).
+    simulated_requests: int = 0
 
     @property
     def is_mixed(self) -> bool:
@@ -162,6 +192,8 @@ class CapacityPoint:
             "joules_per_request": self.joules_per_request,
             "fleet_watt_hours": self.fleet_watt_hours,
             "cost_usd_per_1m": self.cost_usd_per_1m,
+            "pruned": self.pruned,
+            "simulated_requests": self.simulated_requests,
         }
 
 
@@ -194,6 +226,17 @@ class CapacityPlan:
             feasible, key=lambda p: (p.cost_usd_per_1m, p.replicas, p.mix)
         )
 
+    @property
+    def n_pruned(self) -> int:
+        """Candidates the SLO-miss budget aborted early."""
+        return sum(1 for p in self.points if p.pruned)
+
+    @property
+    def simulated_requests(self) -> int:
+        """Requests simulated across every candidate — without pruning
+        this is ``n_candidates * n_requests``; the gap is the saving."""
+        return sum(p.simulated_requests for p in self.points)
+
     def frontier(self) -> tuple[CapacityPoint, ...]:
         """The cost/latency Pareto frontier over all evaluated fleets.
 
@@ -219,6 +262,8 @@ class CapacityPlan:
             "n_requests": self.n_requests,
             "n_candidates": len(self.points),
             "n_feasible": len(feasible),
+            "n_pruned": self.n_pruned,
+            "simulated_requests": self.simulated_requests,
             "best": self.best.to_row() if feasible else None,
             "frontier": [p.to_row() for p in self.frontier()],
             "points": [p.to_row() for p in self.points],
@@ -228,55 +273,155 @@ class CapacityPlan:
         return json.dumps(self.to_json(), **kwargs)
 
 
-def _evaluate(
-    task: RNNTask,
-    roster: "tuple[str, ...]",
-    policy: str,
-    scheduler: str,
-    batcher: str,
-    *,
-    slo_ms: float,
-    base_rate_per_s: float,
-    peak_rate_per_s: float,
-    period_s: float,
-    n_requests: int,
-    seed: int,
-    max_batch: int | None,
-) -> CapacityPoint:
-    """Simulate one candidate fleet on the seeded diurnal workload."""
-    fleet = Fleet(roster, policy=policy)
-    summary: StreamSummary = fleet.serve_stream(
-        diurnal_arrivals(
-            task,
-            base_rate_per_s=base_rate_per_s,
-            peak_rate_per_s=peak_rate_per_s,
-            period_s=period_s,
-            n_requests=n_requests,
-            seed=seed,
-            materialize=False,
-        ),
-        slo_ms=slo_ms,
-        scheduler=scheduler,
-        batcher=batcher,
-        max_batch=max_batch,
-        mode="summary",
-        presorted=True,
-    )
+@dataclass(frozen=True)
+class _StreamSpec:
+    """The seeded diurnal workload, in picklable form.
+
+    One spec → one request stream, deterministically: workers that do
+    not inherit the parent's materialized copy (spawn start method)
+    regenerate an identical stream from the spec.
+    """
+
+    task: RNNTask
+    base_rate_per_s: float
+    peak_rate_per_s: float
+    period_s: float
+    n_requests: int
+    seed: int
+
+    def materialize(self) -> tuple:
+        return tuple(
+            diurnal_arrivals(
+                self.task,
+                base_rate_per_s=self.base_rate_per_s,
+                peak_rate_per_s=self.peak_rate_per_s,
+                period_s=self.period_s,
+                n_requests=self.n_requests,
+                seed=self.seed,
+                materialize=False,
+            )
+        )
+
+
+#: The per-process shared stream: materialized once in the parent
+#: before the pool forks (workers inherit it copy-on-write, nothing is
+#: pickled per job) and lazily on first use under spawn.
+_SHARED_STREAM: "tuple[_StreamSpec, tuple] | None" = None
+
+
+def _shared_stream(spec: _StreamSpec) -> tuple:
+    global _SHARED_STREAM
+    if _SHARED_STREAM is None or _SHARED_STREAM[0] != spec:
+        _SHARED_STREAM = (spec, spec.materialize())
+    return _SHARED_STREAM[1]
+
+
+@dataclass(frozen=True)
+class _PlanJob:
+    """One candidate evaluation, picklable for the worker pool."""
+
+    roster: tuple[str, ...]
+    policy: str
+    scheduler: str
+    batcher: str
+    max_batch: int | None
+    slo_ms: float
+    stream: _StreamSpec
+    prune: bool
+
+
+def _evaluate(job: _PlanJob) -> CapacityPoint:
+    """Simulate one candidate fleet on the shared diurnal workload.
+
+    Module-level and pure in its job, so :func:`~repro.dse.runner.run_jobs`
+    can fan candidates across processes with bit-identical results.
+    """
+    spec = job.stream
+    arrivals = _shared_stream(spec)
+    fleet = Fleet(job.roster, policy=job.policy)
+    n = spec.n_requests
+    sink: StreamSummary | None = None
+    if job.prune:
+        sink = PruningSummary(
+            fleet.platform_name,
+            slo_ms=job.slo_ms,
+            scheduler=job.scheduler,
+            batcher=job.batcher,
+            prune_slo_ms=job.slo_ms,
+            threshold=prune_threshold(n),
+        )
+    pruned = False
+    try:
+        summary: StreamSummary = fleet.serve_stream(
+            iter(arrivals),
+            slo_ms=job.slo_ms,
+            scheduler=job.scheduler,
+            batcher=job.batcher,
+            max_batch=job.max_batch,
+            mode="summary",
+            presorted=True,
+            summary=sink,
+        )
+    except PruneAbort as abort:
+        # The miss budget is provably blown: score the simulated prefix
+        # and move on.  finalize() attaches the same fleet metadata
+        # serve_stream would have (no autoscaler in the planner, so the
+        # provisioned and active sets are the full roster).
+        pruned = True
+        summary = abort.summary.finalize(
+            replicas=len(job.roster),
+            active_replicas=len(job.roster),
+            policy=job.policy,
+            platforms=job.roster if len(set(job.roster)) > 1 else (),
+        )
     p99 = summary.p99_ms
     return CapacityPoint(
-        mix=_mix_label(roster),
-        platforms=roster,
-        replicas=len(roster),
-        policy=policy,
-        scheduler=scheduler,
-        batcher=batcher,
+        mix=_mix_label(job.roster),
+        platforms=job.roster,
+        replicas=len(job.roster),
+        policy=job.policy,
+        scheduler=job.scheduler,
+        batcher=job.batcher,
         p99_ms=p99,
         slo_attainment=summary.slo_attainment,
-        meets_slo=p99 < slo_ms,
+        meets_slo=False if pruned else p99 < job.slo_ms,
         throughput_rps=summary.throughput_rps,
         joules_per_request=summary.joules_per_request,
         fleet_watt_hours=summary.fleet_watt_hours,
         cost_usd_per_1m=summary.cost_usd_per_1m_requests,
+        pruned=pruned,
+        simulated_requests=summary.n_requests,
+    )
+
+
+def _plan_fingerprint(spec: _StreamSpec, slo_ms: float, space: FleetSpace, prune: bool) -> str:
+    return fingerprint(
+        {
+            "kind": "capacity-plan",
+            "task": spec.task.name,
+            "slo_ms": slo_ms,
+            "base_rate_per_s": spec.base_rate_per_s,
+            "peak_rate_per_s": spec.peak_rate_per_s,
+            "period_s": spec.period_s,
+            "n_requests": spec.n_requests,
+            "seed": spec.seed,
+            "prune": prune,
+            "space": {
+                "platforms": space.platforms,
+                "max_replicas": space.max_replicas,
+                "policies": space.policies,
+                "schedulers": space.schedulers,
+                "batchers": space.batchers,
+                "max_batch": space.max_batch,
+            },
+        }
+    )
+
+
+def _points_from_cache(payload: dict) -> tuple[CapacityPoint, ...]:
+    return tuple(
+        CapacityPoint(**dict(row, platforms=tuple(row["platforms"])))
+        for row in payload["points"]
     )
 
 
@@ -290,6 +435,10 @@ def plan_capacity(
     n_requests: int = 2000,
     seed: int = 0,
     space: FleetSpace | None = None,
+    workers: int | None = None,
+    prune: bool = True,
+    cache_dir: "str | Path | None" = None,
+    stats: DSEStats | None = None,
 ) -> CapacityPlan:
     """Search fleet size × platform mix × scheduler × batcher for the
     cheapest fleet holding ``P99 < slo_ms`` on a diurnal workload.
@@ -298,11 +447,35 @@ def plan_capacity(
     :func:`~repro.serving.traffic.diurnal_arrivals` stream (base-to-peak
     sinusoidal ramp, defaults: base = peak/4, one full period over the
     stream), simulated in O(1)-memory summary mode, and scored on the
-    energy/TCO accounting the summary carries.  ``n_requests`` scales
-    the workload down from the headline "1M users over a day" to
-    something a test or perf-smoke run can afford — the arrival
-    *pattern* and the per-request costs are what decide the frontier,
-    not the absolute count (the benchmark pins this).
+    energy/TCO accounting the summary carries.  The stream is
+    materialized once and shared across candidates — bit-identical to
+    regenerating it per candidate, since the generator is a pure
+    function of the seed.  ``n_requests`` scales the workload down from
+    the headline "1M users over a day" to something a test or
+    perf-smoke run can afford — the arrival *pattern* and the
+    per-request costs are what decide the frontier, not the absolute
+    count (the benchmark pins this).
+
+    Args:
+        workers: Fan candidate evaluations onto this many processes
+            (:func:`~repro.dse.runner.run_jobs`; default sequential).
+            Results are folded in candidate order whatever the pool
+            size, so the returned plan is bit-identical at any worker
+            count — purely a wall-clock knob.
+        prune: Abort a candidate's replay once its SLO miss budget
+            (:func:`~repro.dse.runner.prune_threshold`) is provably
+            blown.  Pruned points keep partial metrics and are flagged
+            ``pruned=True`` with ``meets_slo=False`` — a verdict the
+            full replay is guaranteed to share, so the feasible set and
+            ``plan.best`` are unchanged.  ``prune=False`` restores the
+            full per-candidate replay bit-identically.
+        cache_dir: Directory for the on-disk JSON result cache, keyed
+            by a fingerprint of the workload and space.  A hit skips
+            the whole sweep (CI perf-smoke reruns are warm); delete the
+            directory to invalidate after changing cost models.
+        stats: Optional :class:`~repro.dse.runner.DSEStats` the sweep
+            fills in (candidates, pruned count, simulated requests,
+            cache/workers provenance).
 
     Returns a :class:`CapacityPlan`; ``plan.best`` raises
     :class:`~repro.errors.DSEError` when nothing in the space holds the
@@ -321,25 +494,66 @@ def plan_capacity(
         mean_rate = (base_rate_per_s + peak_rate_per_s) / 2.0
         period_s = n_requests / mean_rate
     space = space or FleetSpace()
-    points = tuple(
-        _evaluate(
-            task,
-            roster,
-            policy,
-            scheduler,
-            batcher,
-            slo_ms=slo_ms,
-            base_rate_per_s=base_rate_per_s,
-            peak_rate_per_s=peak_rate_per_s,
-            period_s=period_s,
-            n_requests=n_requests,
-            seed=seed,
+    stats = stats if stats is not None else DSEStats()
+    stats.workers = workers or 1
+    spec = _StreamSpec(
+        task=task,
+        base_rate_per_s=base_rate_per_s,
+        peak_rate_per_s=peak_rate_per_s,
+        period_s=period_s,
+        n_requests=n_requests,
+        seed=seed,
+    )
+    digest = None
+    if cache_dir is not None:
+        digest = _plan_fingerprint(spec, slo_ms, space, prune)
+        payload = load_cached(cache_dir, "plan", digest)
+        if payload is not None:
+            points = _points_from_cache(payload)
+            stats.candidates = len(points)
+            stats.pruned = sum(1 for p in points if p.pruned)
+            stats.simulated_requests = sum(p.simulated_requests for p in points)
+            stats.from_cache = True
+            return CapacityPlan(
+                task=task, slo_ms=slo_ms, n_requests=n_requests, points=points
+            )
+    jobs = [
+        _PlanJob(
+            roster=roster,
+            policy=policy,
+            scheduler=scheduler,
+            batcher=batcher,
             max_batch=space.max_batch,
+            slo_ms=slo_ms,
+            stream=spec,
+            prune=prune,
         )
         for roster, policy, scheduler, batcher in space.candidates()
-    )
-    if not points:
+    ]
+    if not jobs:
         raise DSEError(f"no candidate fleets for {task.name}")
-    return CapacityPlan(
+    # Materialize the shared stream in the parent *before* the pool
+    # forks, so every worker inherits one copy-on-write instance.
+    _shared_stream(spec)
+    points = tuple(run_jobs(_evaluate, jobs, workers=workers))
+    stats.candidates = len(points)
+    stats.evaluated = len(points)
+    stats.pruned = sum(1 for p in points if p.pruned)
+    stats.simulated_requests = sum(p.simulated_requests for p in points)
+    plan = CapacityPlan(
         task=task, slo_ms=slo_ms, n_requests=n_requests, points=points
     )
+    if cache_dir is not None and digest is not None:
+        store_cached(
+            cache_dir,
+            "plan",
+            digest,
+            {
+                "task": task.name,
+                "points": [
+                    dict(p.to_row(), platforms=list(p.platforms))
+                    for p in plan.points
+                ],
+            },
+        )
+    return plan

@@ -1,12 +1,38 @@
-"""Exhaustive map-and-simulate search over a parameter space."""
+"""Exhaustive map-and-simulate search over a parameter space.
+
+Since the shared DSE runner (:mod:`repro.dse.runner`) landed, the sweep
+is memoized, hoisted, and parallel:
+
+* the task *program* is built once per :class:`LoopParams` and reused
+  across the pass-config axis (pass configs only affect mapping, not
+  the program);
+* every mapped-and-simulated point lands in a per-process LRU
+  (:class:`~repro.dse.runner.EvalMemo`) keyed by ``(task family,
+  params, bits, chip, pass_config)`` — the result scales exactly with
+  ``timesteps`` (``total = T * cycles_per_step``), so length variants
+  of one family share entries;
+* :func:`search` fans parameter points onto a worker pool
+  (``workers=``) in candidate order, bit-identical to the sequential
+  loop, and can persist the full result to an on-disk JSON cache
+  (``cache_dir=``) keyed by a space/workload fingerprint.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import DSEError
+from repro.dse.runner import (
+    DSEStats,
+    EvalMemo,
+    fingerprint,
+    load_cached,
+    run_jobs,
+    store_cached,
+)
 from repro.dse.space import ParameterSpace
 from repro.mapping.mapper import MappedDesign, map_rnn_program
 from repro.mapping.passes import PassConfig
@@ -70,6 +96,10 @@ class DSEResult:
     task: RNNTask
     best: SearchPoint
     points: tuple[SearchPoint, ...] = field(repr=False)
+    #: Execution counters (memo hits, program builds, workers, cache
+    #: provenance).  Excluded from equality: two runs at different
+    #: worker counts or cache temperatures return *equal* results.
+    stats: "DSEStats | None" = field(default=None, compare=False, repr=False)
 
     @property
     def best_params(self) -> LoopParams:
@@ -77,6 +107,67 @@ class DSEResult:
 
     def feasible_points(self) -> tuple[SearchPoint, ...]:
         return tuple(p for p in self.points if p.fits)
+
+
+#: Per-process memo over pure map-and-simulate results.  Keyed by
+#: ``(family_key, params, bits, chip, pass_config)`` — everything the
+#: mapped design depends on; ``timesteps`` is deliberately absent (the
+#: record stores per-step cycles and the total is ``T * cycles_per_step``,
+#: the simulator's own identity), so length variants share entries.
+_MEMO = EvalMemo(maxsize=4096)
+
+#: What the memo stores per key; ``fits`` is recomputed from the stored
+#: bits so one entry serves both ``require_capacity`` policies.
+_MemoRecord = tuple  # (cycles_per_step, fits_cb, fits_capacity, pcus, pmus)
+
+
+def _memo_key(
+    task: RNNTask,
+    params: LoopParams,
+    chip: PlasticineConfig,
+    bits: int,
+    pass_config: PassConfig,
+) -> tuple:
+    return (task.family_key, params, bits, chip, pass_config)
+
+
+def _point_from_record(
+    task: RNNTask,
+    params: LoopParams,
+    pass_config: PassConfig,
+    record: _MemoRecord,
+    *,
+    require_capacity: bool,
+) -> SearchPoint:
+    cycles_per_step, fits_cb, fits_capacity, pcus, pmus = record
+    fits = fits_cb and (fits_capacity if require_capacity else True)
+    return SearchPoint(
+        params=params,
+        cycles_per_step=cycles_per_step,
+        total_cycles=task.timesteps * cycles_per_step,
+        fits=fits,
+        pcus_used=pcus,
+        pmus_used=pmus,
+        pass_config=pass_config,
+    )
+
+
+def _evaluate_program(
+    prog, chip: PlasticineConfig, bits: int, pass_config: PassConfig | None
+) -> _MemoRecord:
+    """Map and simulate one built program: the uncached inner kernel."""
+    design: MappedDesign = map_rnn_program(
+        prog, chip, bits=bits, pass_config=pass_config
+    )
+    sim = simulate_pipeline(design.graph)
+    res = design.resources
+    return (
+        sim.cycles_per_step + sim.step_overhead,
+        res.fits_compute and res.fits_bandwidth,
+        res.fits_capacity,
+        res.pcus_used,
+        res.pmus_used,
+    )
 
 
 def evaluate(
@@ -87,26 +178,162 @@ def evaluate(
     bits: int = 8,
     require_capacity: bool = False,
     pass_config: PassConfig | None = None,
+    program=None,
+    memoize: bool = True,
 ) -> SearchPoint:
-    """Map and simulate one candidate point."""
-    prog = build_task_program(task, params)
-    design: MappedDesign = map_rnn_program(
-        prog, chip, bits=bits, pass_config=pass_config
+    """Map and simulate one candidate point.
+
+    ``program`` reuses an already-built task program (the hoist
+    :func:`search` applies across the pass-config axis); ``memoize``
+    consults the per-process :class:`~repro.dse.runner.EvalMemo` first
+    — a hit reconstructs the point bit-identically (per-step cycles and
+    resources are length-independent; the total is
+    ``timesteps * cycles_per_step``, the simulator's own identity).
+    """
+    pc = pass_config or PassConfig()
+    key = _memo_key(task, params, chip, bits, pc)
+    record = _MEMO.get(key) if memoize else None
+    if record is None:
+        if program is None:
+            program = build_task_program(task, params)
+        record = _evaluate_program(program, chip, bits, pass_config)
+        if memoize:
+            _MEMO.put(key, record)
+    return _point_from_record(
+        task, params, pc, record, require_capacity=require_capacity
     )
-    sim = simulate_pipeline(design.graph)
-    res = design.resources
-    fits = res.fits_compute and res.fits_bandwidth
-    if require_capacity:
-        fits = fits and res.fits_capacity
-    return SearchPoint(
-        params=params,
-        cycles_per_step=sim.cycles_per_step + sim.step_overhead,
-        total_cycles=sim.total_cycles,
-        fits=fits,
-        pcus_used=res.pcus_used,
-        pmus_used=res.pmus_used,
-        pass_config=pass_config or PassConfig(),
+
+
+@dataclass(frozen=True)
+class _SearchJob:
+    """One parameter point across the whole pass-config axis."""
+
+    task: RNNTask
+    params: LoopParams
+    chip: PlasticineConfig
+    bits: int
+    require_capacity: bool
+    pass_configs: tuple[PassConfig, ...]
+
+
+def _evaluate_params(job: _SearchJob) -> tuple[list[SearchPoint], int, int]:
+    """Worker entry: evaluate every pass config of one parameter point.
+
+    Builds the task program at most once (lazily — an all-memo-hit
+    point builds nothing) and returns ``(points, program_builds,
+    memo_hits)`` in the space's pass-config order.
+    """
+    program = None
+    points: list[SearchPoint] = []
+    builds = hits = 0
+    for pass_config in job.pass_configs:
+        key = _memo_key(job.task, job.params, job.chip, job.bits, pass_config)
+        record = _MEMO.get(key)
+        if record is None:
+            if program is None:
+                program = build_task_program(job.task, job.params)
+                builds += 1
+            record = _evaluate_program(
+                program, job.chip, job.bits, pass_config
+            )
+            _MEMO.put(key, record)
+        else:
+            hits += 1
+        points.append(
+            _point_from_record(
+                job.task,
+                job.params,
+                pass_config,
+                record,
+                require_capacity=job.require_capacity,
+            )
+        )
+    return points, builds, hits
+
+
+def _search_fingerprint(
+    task: RNNTask,
+    chip: PlasticineConfig,
+    space: ParameterSpace,
+    bits: int,
+    require_capacity: bool,
+) -> str:
+    return fingerprint(
+        {
+            "kind": "chip-dse",
+            "task": {
+                "kind": task.kind,
+                "hidden": task.hidden,
+                "timesteps": task.timesteps,
+                "layers": task.layers,
+                "decoder_timesteps": task.decoder_timesteps,
+            },
+            "chip": repr(chip),
+            "bits": bits,
+            "require_capacity": require_capacity,
+            "space": {
+                "max_hu": space.max_hu,
+                "ru_choices": space.ru_choices,
+                "pass_configs": [
+                    (pc.fuse_gates, pc.double_buffer)
+                    for pc in space.pass_configs
+                ],
+            },
+        }
     )
+
+
+def _points_from_cache(payload: dict) -> tuple[SearchPoint, ...]:
+    return tuple(
+        SearchPoint(
+            params=LoopParams(**row["params"]),
+            cycles_per_step=row["cycles_per_step"],
+            total_cycles=row["total_cycles"],
+            fits=row["fits"],
+            pcus_used=row["pcus_used"],
+            pmus_used=row["pmus_used"],
+            pass_config=PassConfig(**row["pass_config"]),
+        )
+        for row in payload["points"]
+    )
+
+
+def _points_to_cache(points: "tuple[SearchPoint, ...]") -> list[dict]:
+    return [
+        {
+            "params": {
+                "hu": p.params.hu,
+                "ru": p.params.ru,
+                "rv": p.params.rv,
+                "hv": p.params.hv,
+            },
+            "cycles_per_step": p.cycles_per_step,
+            "total_cycles": p.total_cycles,
+            "fits": p.fits,
+            "pcus_used": p.pcus_used,
+            "pmus_used": p.pmus_used,
+            "pass_config": {
+                "fuse_gates": p.pass_config.fuse_gates,
+                "double_buffer": p.pass_config.double_buffer,
+            },
+        }
+        for p in points
+    ]
+
+
+def _result_from_points(
+    task: RNNTask,
+    chip: PlasticineConfig,
+    points: "tuple[SearchPoint, ...]",
+    stats: DSEStats,
+) -> DSEResult:
+    if not points:
+        raise DSEError(f"no candidate points for {task.name}")
+    feasible = [p for p in points if p.fits]
+    if not feasible:
+        raise DSEError(f"no feasible design for {task.name} on {chip.name}")
+    best = min(feasible, key=lambda p: (p.total_cycles, p.pcus_used))
+    return DSEResult(task=task, best=best, points=points, stats=stats)
 
 
 def search(
@@ -116,6 +343,8 @@ def search(
     *,
     bits: int = 8,
     require_capacity: bool = False,
+    workers: int | None = None,
+    cache_dir: "str | Path | None" = None,
 ) -> DSEResult:
     """Search the space, returning the latency-optimal feasible point.
 
@@ -125,24 +354,53 @@ def search(
         require_capacity: Also require the weights to fit on-chip; off by
             default because the paper's largest tasks exceed the 31.5 MB
             scratchpad yet are still evaluated (see EXPERIMENTS.md).
+        workers: Fan parameter points onto this many processes
+            (:func:`~repro.dse.runner.run_jobs`; default sequential).
+            The point list, best point, and every field are
+            bit-identical at any worker count — purely wall clock.
+        cache_dir: On-disk JSON result cache keyed by a fingerprint of
+            (task, chip, bits, space).  A hit returns the persisted
+            sweep without mapping anything; delete the directory to
+            invalidate after compiler changes.
     """
     chip = chip or PlasticineConfig.rnn_serving()
     space = space or ParameterSpace()
-    points = [
-        evaluate(
-            task,
-            params,
-            chip,
+    stats = DSEStats(workers=workers or 1)
+    digest = None
+    if cache_dir is not None:
+        digest = _search_fingerprint(task, chip, space, bits, require_capacity)
+        payload = load_cached(cache_dir, "dse", digest)
+        if payload is not None:
+            points = _points_from_cache(payload)
+            stats.candidates = len(points)
+            stats.from_cache = True
+            return _result_from_points(task, chip, points, stats)
+    jobs = [
+        _SearchJob(
+            task=task,
+            params=params,
+            chip=chip,
             bits=bits,
             require_capacity=require_capacity,
-            pass_config=pass_config,
+            pass_configs=space.pass_configs,
         )
-        for params, pass_config in space.configurations(task, chip, bits)
+        for params in space.candidates(task, chip, bits)
     ]
-    if not points:
-        raise DSEError(f"no candidate points for {task.name}")
-    feasible = [p for p in points if p.fits]
-    if not feasible:
-        raise DSEError(f"no feasible design for {task.name} on {chip.name}")
-    best = min(feasible, key=lambda p: (p.total_cycles, p.pcus_used))
-    return DSEResult(task=task, best=best, points=tuple(points))
+    points: list[SearchPoint] = []
+    for job_points, builds, hits in run_jobs(
+        _evaluate_params, jobs, workers=workers
+    ):
+        points.extend(job_points)
+        stats.program_builds += builds
+        stats.memo_hits += hits
+    stats.candidates = len(points)
+    stats.evaluated = len(points) - stats.memo_hits
+    result = _result_from_points(task, chip, tuple(points), stats)
+    if cache_dir is not None and digest is not None:
+        store_cached(
+            cache_dir,
+            "dse",
+            digest,
+            {"task": task.name, "points": _points_to_cache(result.points)},
+        )
+    return result

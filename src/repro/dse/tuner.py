@@ -19,6 +19,9 @@ initiation interval that bottlenecks the pipeline.
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.errors import DSEError
 from repro.dse.search import DSEResult, search
 from repro.dse.space import ParameterSpace
 from repro.plasticine.chip import PlasticineConfig
@@ -55,6 +58,29 @@ def tune(
     space: ParameterSpace | None = None,
     *,
     bits: int = 8,
+    workers: int | None = None,
+    pass_axis: bool = False,
+    cache_dir: "str | Path | None" = None,
 ) -> DSEResult:
-    """Run the DSE for a task; thin alias of :func:`repro.dse.search.search`."""
-    return search(task, chip, space, bits=bits)
+    """Run the DSE for a task; thin alias of :func:`repro.dse.search.search`.
+
+    Args:
+        workers: Parallel parameter-point evaluation (bit-identical to
+            sequential at any count; see :func:`~repro.dse.search.search`).
+        pass_axis: Search the optimization-pass axis too
+            (:meth:`ParameterSpace.with_pass_axis
+            <repro.dse.space.ParameterSpace.with_pass_axis>`), so the
+            result reports which pass config wins for this task.
+        cache_dir: On-disk result cache, as on
+            :func:`~repro.dse.search.search`.
+    """
+    if pass_axis:
+        if space is not None:
+            raise DSEError(
+                "pass_axis=True builds its own pass-config axis; pass a "
+                "ParameterSpace with pass_configs instead of both"
+            )
+        space = ParameterSpace.with_pass_axis()
+    return search(
+        task, chip, space, bits=bits, workers=workers, cache_dir=cache_dir
+    )

@@ -33,6 +33,15 @@ def _cmd_table(name: str) -> Callable[[argparse.Namespace], str]:
     return run
 
 
+def _cmd_table7(args: argparse.Namespace) -> str:
+    from repro.errors import DSEError
+    from repro.harness import tables
+
+    if args.dse_workers is not None and args.dse_workers < 1:
+        raise DSEError("--dse-workers must be >= 1")
+    return tables.table7(pass_axis=args.pass_axis, workers=args.dse_workers)
+
+
 def _cmd_figure(name: str) -> Callable[[argparse.Namespace], str]:
     def run(args: argparse.Namespace) -> str:
         from repro.harness import figures
@@ -142,6 +151,15 @@ def _validate_serve_flags(args: argparse.Namespace) -> None:
                 "--plan-capacity generates its own diurnal workload; "
                 "drop --trace/--mix"
             )
+    if args.dse_workers is not None and args.dse_workers < 1:
+        raise ServingError("--dse-workers must be >= 1")
+    if not args.plan_capacity and (
+        args.dse_workers is not None or not args.dse_prune or args.dse_cache
+    ):
+        raise ServingError(
+            "--dse-workers/--no-dse-prune/--dse-cache tune the "
+            "capacity-planner DSE; add --plan-capacity"
+        )
     if args.timeout_ms is not None and args.timeout_ms <= 0:
         raise ServingError("--timeout-ms must be positive")
     if args.hedge_ms is not None and args.hedge_ms <= 0:
@@ -506,6 +524,9 @@ def _serve_plan_capacity(args: argparse.Namespace, t) -> str:
         n_requests=args.requests,
         seed=args.seed,
         space=space,
+        workers=args.dse_workers,
+        prune=args.dse_prune,
+        cache_dir=args.dse_cache,
     )
     rows = [
         [
@@ -540,6 +561,12 @@ def _serve_plan_capacity(args: argparse.Namespace, t) -> str:
         )
     except DSEError as exc:
         verdict = f"no feasible fleet: {exc}"
+    if plan.n_pruned:
+        full = len(plan.points) * args.requests
+        verdict += (
+            f"\npruned {plan.n_pruned}/{len(plan.points)} candidates early: "
+            f"{plan.simulated_requests}/{full} requests simulated"
+        )
     return f"{table}\n\n{verdict}"
 
 
@@ -934,10 +961,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name in ("table3", "table4", "table5", "table6", "table7"):
+    for name in ("table3", "table4", "table5", "table6"):
         sub.add_parser(name, help=f"regenerate {name}").set_defaults(
             fn=_cmd_table(name)
         )
+    table7_parser = sub.add_parser(
+        "table7",
+        help="regenerate table7 (per-task DSE parameters)",
+        description="Run the per-task chip DSE and print Table 7: "
+        "Brainwave's fixed parameters, the reconstructed paper "
+        "parameters, and the DSE optimum per DeepBench task.",
+    )
+    table7_parser.add_argument(
+        "--pass-axis",
+        action="store_true",
+        help="also search the optimization-pass axis (gate fusion x "
+        "double buffering) and report which pass config wins per task",
+    )
+    table7_parser.add_argument(
+        "--dse-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate each task's parameter sweep on an N-process pool; "
+        "bit-identical results for any worker count (default: sequential)",
+    )
+    table7_parser.set_defaults(fn=_cmd_table7)
     for cli_name, fn_name in (
         ("figure1_3", "figure1_3_footprints"),
         ("figure4", "figure4_fragmentation"),
@@ -1090,6 +1139,31 @@ def build_parser() -> argparse.ArgumentParser:
         "set; --replicas caps the size, min 3) for the cheapest fleet "
         "holding P99 < --slo-ms on a diurnal workload peaking at "
         "--rate req/s, and print the cost/latency frontier",
+    )
+    serve.add_argument(
+        "--dse-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate --plan-capacity candidate fleets on an N-process "
+        "pool; a pure throughput knob — the plan is bit-identical for "
+        "any worker count (default: sequential)",
+    )
+    serve.add_argument(
+        "--dse-prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="abort candidate fleets early once enough requests have "
+        "clearly missed the SLO that P99 provably cannot meet it; "
+        "exact — the frontier and chosen fleet never change "
+        "(--no-dse-prune replays every candidate in full)",
+    )
+    serve.add_argument(
+        "--dse-cache",
+        metavar="DIR",
+        help="cache --plan-capacity results on disk keyed by a workload/"
+        "space fingerprint; a repeat run with identical inputs loads "
+        "the plan instead of re-simulating",
     )
     serve.add_argument(
         "--scheduler",

@@ -135,22 +135,40 @@ def table6(tasks: tuple[RNNTask, ...] | None = None) -> Table6Result:
     return Table6Result(results=results, geomean_speedups=geo, text=text)
 
 
-def table7(tasks: tuple[RNNTask, ...] | None = None, run_dse: bool = True) -> str:
+def table7(
+    tasks: tuple[RNNTask, ...] | None = None,
+    run_dse: bool = True,
+    *,
+    pass_axis: bool = False,
+    workers: int | None = None,
+) -> str:
     """Table 7: per-task design parameters — Brainwave's fixed set, our
-    reconstructed paper parameters, and (optionally) the DSE optimum."""
+    reconstructed paper parameters, and (optionally) the DSE optimum.
+
+    ``pass_axis=True`` also searches the optimization-pass axis
+    (``fuse_gates``/``double_buffer``) and adds a column naming the
+    winning pass config per task; ``workers`` fans the per-task sweeps
+    onto a process pool (bit-identical results, just faster).
+    """
     from repro.workloads.deepbench import all_tasks
 
     tasks = tasks or all_tasks()
     headers = ["task", "BW ru/hv/rv", "paper hu/ru/rv", "dse hu/ru/rv", "dse cyc/step"]
+    if pass_axis:
+        headers.append("dse passes")
     rows = []
     for task in tasks:
         pp = paper_params(task)
         paper_txt = f"{pp.hu}/{pp.ru}/{pp.rv}" if pp else "-"
         if run_dse:
-            res = tune(task)
+            res = tune(task, pass_axis=pass_axis, workers=workers)
             dse_txt = f"{res.best_params.hu}/{res.best_params.ru}/{res.best_params.rv}"
             cyc = res.best.cycles_per_step
+            passes = res.best.pass_config.key
         else:
-            dse_txt, cyc = "-", "-"
-        rows.append([task.name, "6/400/40", paper_txt, dse_txt, cyc])
+            dse_txt, cyc, passes = "-", "-", "-"
+        row = [task.name, "6/400/40", paper_txt, dse_txt, cyc]
+        if pass_axis:
+            row.append(passes)
+        rows.append(row)
     return format_table(headers, rows, title="Table 7: design parameters")

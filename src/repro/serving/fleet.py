@@ -548,6 +548,7 @@ class Fleet:
         timeout_ms: float | None = None,
         retries: int = 0,
         hedge_ms: float | None = None,
+        summary: StreamSummary | None = None,
     ) -> "FleetReport | StreamSummary":
         """Dispatch a timestamped stream across the replicas.
 
@@ -578,6 +579,12 @@ class Fleet:
         through the fleet's replica factory, so a recovery re-binds the
         engine against the shared compile cache rather than silently
         reusing the dead instance.
+
+        ``summary`` (``mode="summary"`` only) supplies the sink the
+        event loop folds completions into instead of a fresh
+        :class:`~repro.serving.stats.StreamSummary` — the hook the DSE
+        runner's early-abort :class:`~repro.dse.runner.PruningSummary`
+        plugs into.  The caller owns its labels and its finalization.
         """
         if isinstance(scheduler, Scheduler):
             raise ServingError(
@@ -635,8 +642,11 @@ class Fleet:
                 "hedge_ms": hedge_ms,
             }
         )
-        summary = None
-        if mode == "summary":
+        if summary is not None and mode != "summary":
+            raise ServingError(
+                "a summary sink only makes sense with mode='summary'"
+            )
+        if mode == "summary" and summary is None:
             summary = StreamSummary(
                 self.platform_name,
                 slo_ms=slo_ms,

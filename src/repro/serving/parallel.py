@@ -72,6 +72,7 @@ __all__ = [
     "shard_seed",
     "shard_of",
     "split_requests",
+    "pool_map",
     "serve_parallel",
 ]
 
@@ -242,6 +243,44 @@ class _ShardJob:
                 self.shard, self.shards, shard_seed(self.seed, self.shard)
             )
         return _filtered(self.factory(), self.shards, self.shard, self.shard_by)
+
+
+def pool_map(fn, jobs: "Sequence[object]", workers: int) -> list:
+    """Order-preserving parallel map on a fork-preferred process pool.
+
+    The shared pool idiom behind :func:`serve_parallel` and the DSE
+    runner (:mod:`repro.dse.runner`): ``fn`` must be a module-level
+    callable and every job picklable; results come back in job order
+    regardless of which worker ran what, so callers that fold results
+    in order are scheduling-blind and bit-identical at any pool size.
+    ``workers`` is clamped to ``len(jobs)``; one worker (or one job)
+    short-circuits to a plain sequential loop in the calling process —
+    no pool, no pickling.
+
+    The ``fork`` start method is preferred where the platform offers it
+    (workers inherit the parent's memory copy-on-write, so large shared
+    inputs — a materialized stream, a warm memo — ship for free);
+    elsewhere the platform default is used and workers rebuild state
+    from the picklable jobs.
+
+    Example::
+
+        >>> from repro.serving.parallel import pool_map
+        >>> pool_map(len, [[1], [2, 3], []], workers=1)
+        [1, 2, 0]
+    """
+    jobs = list(jobs)
+    if workers < 1:
+        raise ServingError("workers must be >= 1")
+    workers = min(workers, len(jobs))
+    if workers <= 1:
+        return [fn(job) for job in jobs]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ctx.Pool(workers) as pool:
+        # map() returns results in job order regardless of which worker
+        # ran what, so folds over the result list are scheduling-blind.
+        return pool.map(fn, jobs)
 
 
 def _run_shard(job: _ShardJob) -> StreamSummary:
@@ -455,16 +494,7 @@ def serve_parallel(
     ]
     if workers is None:
         workers = min(shards, os.cpu_count() or 1)
-    workers = min(workers, shards)
-    if workers == 1:
-        summaries = [_run_shard(job) for job in jobs]
-    else:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ctx.Pool(workers) as pool:
-            # map() returns results in job order regardless of which
-            # worker ran what, so the merge below is scheduling-blind.
-            summaries = pool.map(_run_shard, jobs)
+    summaries = pool_map(_run_shard, jobs, workers)
     merged = summaries[0].merge(*summaries[1:])
     if merged.is_empty:
         raise ServingError("serve_stream needs at least one request")

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from repro.baselines.brainwave import BrainwaveServingModel, BrainwaveStepTrace
 from repro.baselines.cpu import CPUServingModel
 from repro.baselines.gpu import GPUServingModel
-from repro.dse.search import build_task_program
-from repro.dse.tuner import paper_params, tune
+# NOTE: repro.dse is imported lazily inside the Plasticine platform's
+# prepare path — the DSE layer sits *above* serving (its runner fans
+# serving simulations onto worker pools), so a module-level import here
+# would be circular.
 from repro.mapping.mapper import MappedDesign, map_rnn_program
 from repro.plasticine.area_power import ActivityProfile, AreaPowerModel
 from repro.plasticine.chip import PlasticineConfig
@@ -94,6 +96,8 @@ class PlasticinePlatform(Platform):
         self.use_dse = use_dse
 
     def _resolve_params(self, task: RNNTask) -> LoopParams:
+        from repro.dse.tuner import paper_params, tune
+
         if self.params is not None:
             return self.params
         params = None if self.use_dse else paper_params(task)
@@ -102,6 +106,8 @@ class PlasticinePlatform(Platform):
         return params
 
     def prepare(self, task: RNNTask) -> PreparedModel:
+        from repro.dse.search import build_task_program
+
         chip = self.chip
         params = self._resolve_params(task)
         prog = build_task_program(task, params)

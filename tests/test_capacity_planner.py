@@ -115,11 +115,14 @@ class TestPlanCapacity:
         data = json.loads(plan.dumps())
         assert set(data) == {
             "task", "slo_ms", "n_requests", "n_candidates", "n_feasible",
-            "best", "frontier", "points",
+            "n_pruned", "simulated_requests", "best", "frontier", "points",
         }
         assert data["n_candidates"] == len(plan.points)
+        assert data["n_pruned"] == plan.n_pruned
+        assert data["simulated_requests"] == plan.simulated_requests
         assert data["best"]["mix"] == plan.best.mix
         assert data["best"]["cost_usd_per_1m"] == plan.best.cost_usd_per_1m
+        assert data["best"]["pruned"] is False
 
     def test_input_validation(self):
         with pytest.raises(DSEError, match="slo_ms"):
